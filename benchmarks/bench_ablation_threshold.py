@@ -1,0 +1,87 @@
+"""Ablation: the sparsity threshold ``t`` and online decomposition.
+
+Two of the design choices DESIGN.md calls out:
+
+* the switch-to-dense threshold ``t`` on the sparsity measure
+  ``D = 1 - nni/(2n^2+2n)`` (the paper suggests t = 3/4);
+* online decomposition itself (``SwitchPolicy.decompose``).
+
+Decomposition pays inside the cubic closure and needs DBMs big enough
+for the cubic term to dominate the per-component bookkeeping.  The
+APRON baseline cannot run at such sizes in an interpreter, but this
+ablation does not need it: we analyse a large TouchBoost-style app
+(n ~ 135, beyond the apron-feasible suite scale) with the optimised
+octagon only, capture its closure workload, and replay it under each
+policy.  Expected shape: any decomposing policy beats ``no-decompose``
+by a wide margin on the closure replay; the threshold value itself
+matters less because the exact structural refresh at each closure keeps
+the partition fresh.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.core.densemat import count_nni
+from repro.core.kinds import SwitchPolicy
+from repro.core.octagon import Octagon
+from repro.core.partition import Partition
+from repro.domains import ConfiguredOctagonFactory
+from repro.workloads import run_workload
+from repro.workloads.programs import gen_tb_like
+from repro.workloads.suite import Benchmark, PaperStats
+
+POLICIES = [
+    ("decompose,t=0.50", SwitchPolicy(threshold=0.50, decompose=True)),
+    ("decompose,t=0.75", SwitchPolicy(threshold=0.75, decompose=True)),
+    ("decompose,t=0.95", SwitchPolicy(threshold=0.95, decompose=True)),
+    ("no-decompose", SwitchPolicy(threshold=0.75, decompose=False)),
+]
+
+
+def _big_tb_benchmark() -> Benchmark:
+    return Benchmark(
+        "tb_ablation", "TB", PaperStats(0, 0, 0, 0, 0, 0, 0, 0, 0),
+        lambda scale: gen_tb_like(9001, n_groups=12, group_size=10,
+                                  n_phases=2))
+
+
+def _closure_replay(inputs, policy):
+    total = 0.0
+    for mat, blocks in inputs:
+        n = mat.shape[0] // 2
+        part = (Partition(n, blocks) if policy.decompose
+                else Partition.single_block(n))
+        oct_ = Octagon(n, mat.copy(), part, count_nni(mat),
+                       closed=False, policy=policy)
+        start = time.perf_counter()
+        oct_._close_in_place()
+        total += time.perf_counter() - start
+    return total
+
+
+def _measure():
+    bench = _big_tb_benchmark()
+    capture = run_workload(bench, ConfiguredOctagonFactory(
+        policy=SwitchPolicy()), scale="paper", capture_closures=True)
+    rows = []
+    for label, policy in POLICIES:
+        replay = _closure_replay(capture.closure_inputs, policy)
+        rows.append([label, len(capture.closure_inputs), replay])
+    return rows
+
+
+def test_threshold_ablation(benchmark):
+    rows = run_once(benchmark, _measure)
+    table = format_table(
+        ["policy", "#closures", "closure_replay_s"], rows,
+        title="Ablation: switching policy, closure workload of a "
+              "TouchBoost-style app with n~135")
+    print("\n" + table)
+    save_result("ablation_threshold", table)
+    replay = {label: t for label, _, t in rows}
+    best_decomposed = min(t for label, t in replay.items()
+                          if label != "no-decompose")
+    # Decomposition must win decisively inside the closures.
+    assert best_decomposed * 2 < replay["no-decompose"]

@@ -1,0 +1,56 @@
+"""Extra study: precision/cost across the shipped abstract domains.
+
+Not a paper figure, but the natural companion to the paper's
+"expressivity vs efficiency" framing (section 1): run a slice of the
+benchmark suite through interval, pentagon, zone, optimised octagon and
+the scalar octagon baseline, measuring analysis time and the number of
+assertions each domain proves.  Expected shape:
+
+* precision ladder: interval <= pentagon <= zone <= octagon (the two
+  octagon implementations prove identical facts);
+* the cheap domains are faster than either octagon; the optimised
+  octagon beats the scalar baseline.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.bench import format_table, save_result
+from repro.workloads import get_benchmark, run_workload
+
+BENCH_SLICE = ["Prob6_00_f", "crypt", "firefox", "eeorzcap"]
+DOMAINS = ["interval", "pentagon", "zone", "octagon", "apron"]
+
+
+def _measure():
+    rows = []
+    for name in BENCH_SLICE:
+        bench = get_benchmark(name)
+        cells = [name]
+        verified = {}
+        seconds = {}
+        for domain in DOMAINS:
+            run = run_workload(bench, domain, scale=bench_scale())
+            verified[domain] = (run.checks_verified, run.checks_total)
+            seconds[domain] = run.total_seconds
+        for domain in DOMAINS:
+            v, t = verified[domain]
+            cells.append(f"{v}/{t} ({seconds[domain]:.2f}s)")
+        rows.append((cells, verified, seconds))
+    return rows
+
+
+def test_domain_comparison(benchmark):
+    rows = run_once(benchmark, _measure)
+    table = format_table(
+        ["benchmark"] + DOMAINS, [cells for cells, _, _ in rows],
+        title="Domain comparison: assertions proven (analysis seconds)")
+    print("\n" + table)
+    save_result("domain_comparison", table)
+    for _, verified, seconds in rows:
+        # The octagons prove at least as much as the cheaper domains.
+        assert verified["octagon"][0] >= verified["interval"][0]
+        assert verified["octagon"][0] >= verified["zone"][0]
+        # The two octagon implementations prove the same facts.
+        assert verified["octagon"] == verified["apron"]
+        # And the optimised octagon is cheaper than the scalar baseline.
+        assert seconds["octagon"] < seconds["apron"]

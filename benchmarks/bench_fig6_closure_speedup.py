@@ -1,0 +1,51 @@
+"""Figure 6: speedup of the new closures over the APRON closure.
+
+For every benchmark, the paper reports (log scale):
+
+* gray bar -- a vectorised Floyd-Warshall closure (processor-level
+  optimisation only, no operation-count reduction): ~6-8x over APRON;
+* black bar -- the OptOctagon closure (switching between dense, sparse
+  and decomposed closures): usually >= FW, often ~20x, up to >600x.
+
+This harness replays each benchmark's captured closure workload (the
+exact DBMs + partitions the analysis produced) through the scalar APRON
+closure, the vectorised full-DBM Floyd-Warshall, and the OptOctagon
+dispatch, then prints the per-benchmark speedups.  In this Python
+reproduction the FW/APRON gap is inflated (NumPy vs interpreted scalar
+loops is a bigger gap than AVX vs scalar C) -- the *shape* to check is
+OptOctagon >= FW with the largest wins on decomposable benchmarks.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.bench import closure_comparison, format_table, geomean, save_result
+from repro.workloads import BENCHMARKS
+
+
+def _measure():
+    rows = []
+    for bench in BENCHMARKS:
+        cc = closure_comparison(bench, scale=bench_scale())
+        if not cc.events:
+            continue
+        kinds = sorted({e.kind for e in cc.events})
+        rows.append([bench.name, bench.analyzer, len(cc.events),
+                     ",".join(kinds), cc.fw_speedup, cc.opt_speedup])
+    return rows
+
+
+def test_fig6_closure_speedups(benchmark):
+    rows = run_once(benchmark, _measure)
+    text = format_table(
+        ["benchmark", "analyzer", "#closures", "kinds",
+         "FW_speedup", "OptOctagon_speedup"],
+        rows,
+        title="Figure 6: closure speedup over APRON closure "
+              f"(geomean FW={geomean([r[4] for r in rows]):.1f}x, "
+              f"Opt={geomean([r[5] for r in rows]):.1f}x)")
+    print("\n" + text)
+    save_result("fig6_closure_speedup", text)
+    # Shape assertions: both optimised closures beat the scalar baseline
+    # in aggregate.
+    assert geomean([r[4] for r in rows]) > 1.0
+    assert geomean([r[5] for r in rows]) > 1.0

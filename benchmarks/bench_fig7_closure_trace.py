@@ -1,0 +1,57 @@
+"""Figure 7: per-closure runtime trace on the jwgqbjzs benchmark.
+
+The paper plots, over the sequence of closures performed during the
+analysis of jwgqbjzs, the runtime of four closure implementations
+(APRON, vectorised Floyd-Warshall, Dense, Decomposed/OptOctagon) in
+CPU cycles on a log scale.  The visible shape: DBMs are dense early in
+the analysis, FW beats APRON ~7-8x, the new dense closure adds ~3x on
+top -- and once widening makes the DBMs sparse midway, the library
+switches to the Decomposed type and gains orders of magnitude.
+
+We capture the actual closure inputs of our jwgqbjzs workload, replay
+them through the same four implementations, print the per-closure
+series (ASCII chart + CSV-ish rows) and assert the ordering of the
+curves.  This benchmark runs jwgqbjzs at the ``large`` scale (n ~ 90,
+closer to the paper's 190) regardless of REPRO_BENCH_SCALE -- the
+decomposed-vs-dense gap only opens once the cubic term dominates the
+per-component overhead -- and caps the number of replayed closures to
+keep the scalar APRON replays affordable.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.bench import closure_comparison, render_ascii_series, save_result
+from repro.bench.reporting import format_table
+from repro.workloads import get_benchmark
+
+
+def _measure():
+    scale = "small" if bench_scale() == "small" else "large"
+    return closure_comparison(get_benchmark("jwgqbjzs"), scale=scale,
+                              max_events=12)
+
+
+def test_fig7_closure_trace(benchmark):
+    cc = run_once(benchmark, _measure)
+    assert cc.events, "no closures captured"
+    series = {
+        "APRON": [e.t_apron for e in cc.events],
+        "FW": [e.t_fw for e in cc.events],
+        "Dense": [e.t_dense for e in cc.events],
+        "OptOctagon": [e.t_opt for e in cc.events],
+    }
+    chart = render_ascii_series(
+        series, title="Figure 7: closure runtime trace on jwgqbjzs "
+                      "(seconds, log scale; x = closure number)")
+    rows = [[i, e.n, e.kind, e.t_apron, e.t_fw, e.t_dense, e.t_opt]
+            for i, e in enumerate(cc.events)]
+    table = format_table(
+        ["closure#", "n", "opt_kind", "APRON_s", "FW_s", "Dense_s", "Opt_s"], rows)
+    print("\n" + chart + "\n\n" + table)
+    save_result("fig7_closure_trace", chart + "\n\n" + table)
+    # Shape assertions: the APRON closure is the slowest in aggregate,
+    # and the OptOctagon dispatch used the decomposed closure at least
+    # once (the paper's sparsification effect).
+    assert cc.aggregate("t_apron") > cc.aggregate("t_fw")
+    assert cc.aggregate("t_apron") > cc.aggregate("t_opt")
+    assert any(e.kind == "decomposed" for e in cc.events)

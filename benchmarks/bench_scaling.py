@@ -1,0 +1,77 @@
+"""Extra study: wall-clock scaling of the decomposed closure.
+
+The paper's asymptotic claim (Table 1): a decomposed octagon with
+components of bounded size closes in time proportional to the *sum of
+component costs* -- effectively linear in n -- while the monolithic
+dense closure is cubic.  We fix the component size (8 variables),
+sweep the total variable count, and time both closures on the same
+matrices.  Expected shape: the dense curve grows ~n^3, the decomposed
+curve ~n, and the gap at the top of the sweep reaches two orders of
+magnitude.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.core.closure_decomposed import closure_decomposed
+from repro.core.closure_dense import closure_dense_numpy
+from repro.core.constraints import OctConstraint, dbm_cells
+from repro.core.densemat import new_top
+from repro.core.partition import Partition
+
+GROUP = 8
+
+
+def _grouped_matrix(n, rng):
+    m = new_top(n)
+    for base in range(0, n, GROUP):
+        vars_ = list(range(base, min(base + GROUP, n)))
+        for v, w in zip(vars_, vars_[1:]):
+            for r, s, c in dbm_cells(OctConstraint.diff(v, w, float(rng.integers(0, 9)))):
+                m[r, s] = min(m[r, s], c)
+        for r, s, c in dbm_cells(OctConstraint.sum(vars_[0], vars_[-1], 30.0)):
+            m[r, s] = min(m[r, s], c)
+    return m
+
+
+def _time(fn, *args, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure():
+    rng = np.random.default_rng(8)
+    rows = []
+    for n in (16, 32, 64, 128, 256):
+        m = _grouped_matrix(n, rng)
+        part = Partition.from_matrix(m)
+        t_dense = _time(lambda: closure_dense_numpy(m.copy()))
+        t_dec = _time(lambda: closure_decomposed(m.copy(), part.copy()))
+        rows.append([n, len(part.blocks), t_dense, t_dec,
+                     t_dense / max(t_dec, 1e-12)])
+    return rows
+
+
+def test_decomposition_scaling(benchmark):
+    rows = run_once(benchmark, _measure)
+    table = format_table(
+        ["n", "components", "dense_s", "decomposed_s", "speedup"],
+        rows,
+        title=f"Closure scaling, fixed component size {GROUP} "
+              "(paper Table 1: sum of component costs vs n^3)")
+    print("\n" + table)
+    save_result("scaling_decomposition", table)
+    # The decomposition advantage must grow with n ...
+    speedups = [r[4] for r in rows]
+    assert speedups[-1] > speedups[0]
+    # ... and be decisive at the top of the sweep.
+    assert speedups[-1] > 10
+    # The dense closure exhibits superlinear growth across the sweep.
+    assert rows[-1][2] / rows[0][2] > (256 / 16) ** 1.5

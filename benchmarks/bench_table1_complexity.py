@@ -1,0 +1,128 @@
+"""Table 1: asymptotic cost of closure / join / meet per DBM type.
+
+The paper's Table 1 states the complexity of the operators for each
+DBM type: closure is O(1) on Top, O(n^2 + sum k_i l_i) on Sparse,
+O(n^3) on Dense and sum_i s_i on Decomposed; join/meet reduce to the
+component submatrices.  We verify the *scaling* empirically: candidate
+operation counts of the instrumented closures over an n-sweep, with a
+log-log slope fit per type, plus the reduction of join work under
+decomposition.
+"""
+
+import math
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.core.closure_dense import closure_dense_numpy
+from repro.core.closure_sparse import closure_sparse, shortest_path_sparse
+from repro.core.constraints import OctConstraint, dbm_cells
+from repro.core.densemat import new_top
+from repro.core.partition import Partition
+from repro.core.stats import OpCounter
+from repro.core.octagon import Octagon
+
+
+def _random_dense(n, rng):
+    m = new_top(n)
+    dim = 2 * n
+    for _ in range(4 * n * n):
+        i, j = rng.integers(0, dim, 2)
+        if i != j:
+            c = float(rng.integers(0, 50))
+            m[i, j] = min(m[i, j], c)
+            m[j ^ 1, i ^ 1] = m[i, j]
+    return m
+
+
+def _random_sparse(n, rng, cluster: int = 4):
+    """A sparse DBM that *stays* sparse under closure: constraints are
+    confined to small variable clusters (uniformly random edges would
+    transitively densify -- real-program sparsity is structured)."""
+    m = new_top(n)
+    for start in range(0, n, cluster):
+        vars_ = range(start, min(start + cluster, n))
+        idx = [2 * v + s for v in vars_ for s in (0, 1)]
+        for _ in range(2 * cluster):
+            i, j = rng.choice(idx, 2)
+            if i != j:
+                c = float(rng.integers(0, 50))
+                m[i, j] = min(m[i, j], c)
+                m[j ^ 1, i ^ 1] = m[i, j]
+    return m
+
+
+def _block_octagon(n, blocks, rng):
+    """An octagon of ``blocks`` equal components, each *saturated* with
+    intra-block constraints so every component takes the dense closure
+    path (keeping the candidate-count measure comparable across rows)."""
+    oct_ = Octagon.top(n)
+    size = n // blocks
+    for b in range(blocks):
+        vars_ = list(range(b * size, (b + 1) * size))
+        for v in vars_:
+            oct_._meet_constraint_cells(OctConstraint.upper(v, 10.0))
+            oct_._meet_constraint_cells(OctConstraint.lower(v, -10.0))
+            for w in vars_:
+                if v < w:
+                    c = float(rng.integers(0, 9))
+                    oct_._meet_constraint_cells(OctConstraint.diff(v, w, c))
+                    oct_._meet_constraint_cells(OctConstraint.sum(v, w, c + 20))
+    return oct_
+
+
+def _slope(ns, counts):
+    xs = [math.log(n) for n in ns]
+    ys = [math.log(max(c, 1)) for c in counts]
+    mx, my = sum(xs) / len(xs), sum(ys) / len(ys)
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    return num / den
+
+
+def _measure():
+    rng = np.random.default_rng(99)
+    ns = [8, 16, 32, 64]
+    rows = []
+    dense_counts, sparse_counts = [], []
+    for n in ns:
+        counter = OpCounter()
+        closure_dense_numpy(_random_dense(n, rng), counter)
+        dense_counts.append(counter.mins)
+        counter = OpCounter()
+        closure_sparse(_random_sparse(n, rng), counter)  # clustered, stays sparse
+        sparse_counts.append(counter.mins)
+        rows.append([n, dense_counts[-1], sparse_counts[-1]])
+    dense_slope = _slope(ns, dense_counts)
+    sparse_slope = _slope(ns, sparse_counts)
+
+    # Decomposed: candidate updates when closing k equal components of a
+    # size-n octagon vs one monolithic component.
+    decomp_rows = []
+    n = 32
+    for blocks in (1, 2, 4, 8):
+        oct_ = _block_octagon(n, blocks, rng)
+        counter = OpCounter()
+        from repro.core.closure_decomposed import closure_decomposed
+        closure_decomposed(oct_.mat.copy(), oct_.partition, counter=counter)
+        decomp_rows.append([blocks, counter.mins])
+    return rows, dense_slope, sparse_slope, decomp_rows
+
+
+def test_table1_complexity(benchmark):
+    rows, dense_slope, sparse_slope, decomp_rows = run_once(benchmark, _measure)
+    table = format_table(["n", "dense_candidates", "sparse_candidates"], rows,
+                         title=("Table 1 (empirical): candidate-min counts; "
+                                f"log-log slope dense={dense_slope:.2f} "
+                                f"(paper: 3), sparse={sparse_slope:.2f} "
+                                "(paper: ~2 for near-linear entries)"))
+    table2 = format_table(["components", "decomposed_candidates"], decomp_rows,
+                          title="Decomposed closure: work vs component count (n=32)")
+    print("\n" + table + "\n\n" + table2)
+    save_result("table1_complexity", table + "\n\n" + table2)
+    assert 2.6 <= dense_slope <= 3.2, f"dense closure should scale ~n^3, got {dense_slope}"
+    assert sparse_slope <= 2.6, f"sparse closure should scale ~n^2, got {sparse_slope}"
+    # More components => strictly less closure work.
+    counts = [c for _, c in decomp_rows]
+    assert counts == sorted(counts, reverse=True)

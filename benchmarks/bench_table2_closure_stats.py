@@ -1,0 +1,41 @@
+"""Table 2: closure statistics per benchmark.
+
+The paper reports, for each of the 17 benchmarks, the minimum and
+maximum number of variables in the DBMs reaching the closure operator
+and the total number of closures.  We regenerate the same statistics
+from our workloads and print them beside the paper's values.  The
+workloads are scaled (see suite.py), so the measured columns are
+expected to be proportionally smaller; what must reproduce is the
+per-family profile: CPA benchmarks have nmin ~ nmax (fixed variable
+set), DPS/DIZY have a wide nmin..nmax spread (many procedures of
+varying size).
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.bench import format_table, save_result, table2_row
+from repro.workloads import BENCHMARKS
+
+
+def _measure():
+    return [table2_row(b, scale=bench_scale()) for b in BENCHMARKS]
+
+
+def test_table2_closure_stats(benchmark):
+    rows = run_once(benchmark, _measure)
+    table = format_table(
+        ["benchmark", "analyzer", "nmin", "nmax", "#closures",
+         "paper_nmin", "paper_nmax", "paper_#closures"],
+        [[r["benchmark"], r["analyzer"], r["nmin"], r["nmax"], r["closures"],
+          r["paper_nmin"], r["paper_nmax"], r["paper_closures"]] for r in rows],
+        title="Table 2: closure statistics (measured, scaled workloads | paper)")
+    print("\n" + table)
+    save_result("table2_closure_stats", table)
+    by_name = {r["benchmark"]: r for r in rows}
+    # Per-family shape: CPA benchmarks have a fixed variable set.
+    for name in ("Prob6_00_f", "s3_clnt_2_f", "s3_clnt_3_t"):
+        assert by_name[name]["nmin"] == by_name[name]["nmax"]
+    # DPS benchmarks span procedures of widely varying size.
+    assert by_name["crypt"]["nmax"] >= 2 * by_name["crypt"]["nmin"]
+    # Every benchmark actually performed closures.
+    assert all(r["closures"] > 0 for r in rows)

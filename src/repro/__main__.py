@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``analyze FILE``      -- run the static analyzer on a mini-language
+                           source file and report assertion results.
+* ``precondition FILE`` -- backward analysis: the necessary
+                           precondition of reaching the program exit.
+* ``bench NAME``        -- run one suite benchmark through both octagon
+                           implementations and print the comparison.
+* ``suite``             -- list the 17-benchmark suite with its paper
+                           statistics.
+* ``demo``              -- analyse the paper's Figure 2 example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import Analyzer
+from .core.bounds import INF
+
+
+def _fmt(value: float) -> str:
+    if value == INF:
+        return "+oo"
+    if value == -INF:
+        return "-oo"
+    return f"{value:g}"
+
+
+def cmd_analyze(args) -> int:
+    with open(args.file) as fh:
+        source = fh.read()
+    analyzer = Analyzer(domain=args.domain,
+                        widening_delay=args.widening_delay)
+    result = analyzer.analyze(source)
+    failures = 0
+    for proc in result.procedures:
+        print(f"proc {proc.name}:")
+        names = proc.cfg.variables
+        exit_state = proc.invariant_at_exit()
+        if exit_state.is_bottom():
+            print("  exit: unreachable")
+        else:
+            for v, name in enumerate(names):
+                lo, hi = exit_state.bounds(v)
+                print(f"  {name} in [{_fmt(lo)}, {_fmt(hi)}] at exit")
+        for check in proc.checks:
+            ok = "VERIFIED" if check.verified else "FAILED TO PROVE"
+            failures += 0 if check.verified else 1
+            print(f"  assert({check.cond_text}): {ok}")
+    total = len(result.checks)
+    print(f"{total - failures}/{total} assertions verified "
+          f"({args.domain}, {result.seconds:.3f}s)")
+    return 1 if failures else 0
+
+
+def cmd_precondition(args) -> int:
+    from .analysis.backward import necessary_precondition
+    from .frontend.cfg import build_cfg
+    from .frontend.parser import parse_program
+
+    with open(args.file) as fh:
+        source = fh.read()
+    cfg = build_cfg(parse_program(source).procedures[0])
+    pre = necessary_precondition(cfg, domain=args.domain)
+    print("necessary precondition of reaching the exit:")
+    if pre.is_bottom():
+        print("  false (the exit is unreachable)")
+    else:
+        text = pre.pretty(names=cfg.variables) if hasattr(pre, "pretty") else repr(pre)
+        for line in text.splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench import fig8_row
+    from .workloads import get_benchmark
+
+    bench = get_benchmark(args.name)
+    row = fig8_row(bench, scale=args.scale)
+    print(f"benchmark {bench.name} ({bench.analyzer}), scale={args.scale}")
+    print(f"  apron octagon time: {row['apron_oct_s']:.3f}s")
+    print(f"  opt octagon time:   {row['opt_oct_s']:.3f}s")
+    print(f"  speedup:            {row['speedup']:.1f}x "
+          f"(paper: {row['paper_speedup']:g}x)")
+    return 0
+
+
+def cmd_suite(_args) -> int:
+    from .workloads import BENCHMARKS
+
+    print(f"{'benchmark':14s} {'analyzer':8s} {'nmin':>5s} {'nmax':>5s} "
+          f"{'#closures':>9s} {'oct speedup':>11s}")
+    for bench in BENCHMARKS:
+        p = bench.paper
+        print(f"{bench.name:14s} {bench.analyzer:8s} {p.nmin:5d} {p.nmax:5d} "
+              f"{p.closures:9d} {p.oct_speedup:10.1f}x")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .workloads.programs import fig2_program
+
+    source = fig2_program() + "\nassert(y >= x - 1);\n"
+    print("the paper's Figure 2 example:")
+    print(source)
+    result = Analyzer(domain=args.domain).analyze(source)
+    for check in result.checks:
+        ok = "VERIFIED" if check.verified else "FAILED TO PROVE"
+        print(f"assert({check.cond_text}): {ok}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Making Numerical Program Analysis "
+                    "Fast' (PLDI 2015)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="analyze a source file")
+    p.add_argument("file")
+    p.add_argument("--domain", default="octagon",
+                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+    p.add_argument("--widening-delay", type=int, default=2)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("precondition",
+                       help="necessary precondition of reaching the exit")
+    p.add_argument("file")
+    p.add_argument("--domain", default="octagon", choices=["octagon", "apron"])
+    p.set_defaults(func=cmd_precondition)
+
+    p = sub.add_parser("bench", help="run one suite benchmark")
+    p.add_argument("name")
+    p.add_argument("--scale", default="paper",
+                   choices=["small", "paper", "large"])
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("suite", help="list the benchmark suite")
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("demo", help="analyse the paper's Figure 2 example")
+    p.add_argument("--domain", default="octagon",
+                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+    p.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Abstract-interpretation substrate: transfer functions, the worklist
+fixpoint engine with widening/narrowing, and the end-to-end analyzer."""
+
+from .analyzer import AnalysisResult, Analyzer, CheckResult, ProcedureResult
+from .backward import BackwardEngine, BackwardResult, necessary_precondition
+from .fixpoint import FixpointEngine, FixpointResult
+from .transfer import apply_action, apply_assume, eval_interval, linearize
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "BackwardEngine",
+    "BackwardResult",
+    "necessary_precondition",
+    "CheckResult",
+    "FixpointEngine",
+    "FixpointResult",
+    "ProcedureResult",
+    "apply_action",
+    "apply_assume",
+    "eval_interval",
+    "linearize",
+]

@@ -1,0 +1,235 @@
+"""Fixpoint engine: recursive iteration over the loop nesting tree.
+
+The engine implements the classic abstract-interpretation solver with a
+Bourdoncle-style *recursive* iteration strategy.  For CFGs produced by
+the front end, the loop nesting tree is known (structured programs),
+and each loop is solved as a unit:
+
+* the loop head accumulates joins of its incoming values, switching to
+  **widening** after ``widening_delay`` growing iterations (optionally
+  against a threshold set);
+* on every (re-)iteration the loop **body is recomputed from scratch**
+  in reverse postorder, recursively re-solving nested loops.  This
+  "reset" semantics is what recovers precision that a flat worklist
+  loses: a variable that is constant around an inner loop but grows
+  across outer iterations never gets widened away at the inner head;
+* once stable, up to ``narrowing_steps`` descending passes refine the
+  head invariant (standard narrowing: only infinite bounds improve),
+  re-propagating the body after each successful refinement.
+
+Hand-built CFGs without a loop tree fall back to a generic priority
+worklist with widening at the annotated loop heads.
+
+The engine is generic over any domain implementing the
+:class:`~repro.domains.domain.AbstractDomain` protocol -- in particular
+both the optimised :class:`~repro.core.Octagon` and the baseline
+:class:`~repro.core.ApronOctagon`, which is how the paper's end-to-end
+comparisons run identical analysis logic over both implementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..frontend.cfg import CFG, LoopInfo
+from .transfer import apply_action
+
+
+@dataclass
+class FixpointResult:
+    """Invariants per CFG node plus iteration statistics."""
+
+    states: Dict[int, object]
+    iterations: int
+    widenings: int
+    narrowings: int
+
+    def at(self, node: int):
+        return self.states[node]
+
+
+@dataclass
+class FixpointEngine:
+    """Configurable fixpoint solver."""
+
+    widening_delay: int = 2
+    narrowing_steps: int = 3
+    widening_thresholds: Sequence[float] = field(default_factory=tuple)
+    max_iterations: int = 100_000
+    integer_mode: bool = True
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def analyze(self, cfg: CFG, factory, entry_state=None) -> FixpointResult:
+        """Run to fixpoint; ``factory`` is a DomainFactory-like object."""
+        if cfg.loop_tree is not None:
+            return self._analyze_structured(cfg, factory, entry_state)
+        return self._analyze_worklist(cfg, factory, entry_state)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _widen(self, old, new):
+        if self.widening_thresholds:
+            # Variable-level thresholds: include doubled values so the
+            # unary DBM entries (2v <= 2t) are captured too.
+            ts = sorted({float(t) for t in self.widening_thresholds}
+                        | {2.0 * float(t) for t in self.widening_thresholds})
+            if hasattr(old, "widening_thresholds"):
+                return old.widening_thresholds(new, ts)
+        return old.widening(new)
+
+    # ------------------------------------------------------------------
+    # structured (recursive) strategy
+    # ------------------------------------------------------------------
+    def _analyze_structured(self, cfg: CFG, factory, entry_state) -> FixpointResult:
+        n = len(cfg.variables)
+        var_index = cfg.var_index
+        bottom = factory.bottom(n)
+        states: Dict[int, object] = {node: bottom.copy() for node in range(cfg.n_nodes)}
+        states[cfg.entry] = (entry_state.copy() if entry_state is not None
+                             else factory.top(n))
+        rpo_pos = {node: i for i, node in enumerate(cfg.reverse_postorder())}
+        counters = {"iterations": 0, "widenings": 0, "narrowings": 0}
+
+        def recompute(node):
+            counters["iterations"] += 1
+            if counters["iterations"] > self.max_iterations:
+                raise RuntimeError("fixpoint did not converge within "
+                                   f"{self.max_iterations} iterations")
+            acc = bottom
+            for edge in cfg.predecessors.get(node, []):
+                out = apply_action(states[edge.src], edge.action, var_index,
+                                   integer_mode=self.integer_mode)
+                acc = acc.join(out)
+            return acc
+
+        def propagate_region(nodes_in_order, subloops_by_head):
+            handled = set()
+            for node in nodes_in_order:
+                if node in handled:
+                    continue
+                sub = subloops_by_head.get(node)
+                if sub is not None:
+                    solve_loop(sub)
+                    handled |= sub.nodes
+                else:
+                    states[node] = recompute(node)
+
+        def solve_loop(loop: LoopInfo) -> None:
+            body_nodes = sorted(loop.nodes - {loop.head},
+                                key=lambda nd: rpo_pos.get(nd, nd))
+            subs = {sub.head: sub for sub in loop.subloops}
+            # Reset semantics: the component is re-solved from scratch
+            # relative to its current entry values.
+            states[loop.head] = bottom
+            for node in body_nodes:
+                states[node] = bottom
+            visits = 0
+            while True:
+                new_head = recompute(loop.head)
+                if visits > 0 and new_head.is_leq(states[loop.head]):
+                    break
+                if visits > self.widening_delay:
+                    counters["widenings"] += 1
+                    states[loop.head] = self._widen(states[loop.head], new_head)
+                else:
+                    states[loop.head] = states[loop.head].join(new_head)
+                propagate_region(body_nodes, subs)
+                visits += 1
+            # Descending (narrowing) passes on this component.
+            for _ in range(self.narrowing_steps):
+                new_head = recompute(loop.head)
+                refined = states[loop.head].narrowing(new_head)
+                if refined.is_leq(states[loop.head]) and \
+                        not states[loop.head].is_leq(refined):
+                    counters["narrowings"] += 1
+                    states[loop.head] = refined
+                    propagate_region(body_nodes, subs)
+                else:
+                    break
+
+        top_order = sorted((node for node in range(cfg.n_nodes)
+                            if node != cfg.entry),
+                           key=lambda nd: rpo_pos.get(nd, nd))
+        propagate_region(top_order, {loop.head: loop for loop in cfg.loop_tree})
+        return FixpointResult(states, counters["iterations"],
+                              counters["widenings"], counters["narrowings"])
+
+    # ------------------------------------------------------------------
+    # generic worklist fallback (hand-built CFGs)
+    # ------------------------------------------------------------------
+    def _analyze_worklist(self, cfg: CFG, factory, entry_state) -> FixpointResult:
+        n = len(cfg.variables)
+        var_index = cfg.var_index
+        bottom = factory.bottom(n)
+        states: Dict[int, object] = {node: bottom.copy() for node in range(cfg.n_nodes)}
+        states[cfg.entry] = (entry_state.copy() if entry_state is not None
+                             else factory.top(n))
+
+        priority = {node: i for i, node in enumerate(cfg.reverse_postorder())}
+        visits: Dict[int, int] = {}
+        iterations = widenings = narrowings = 0
+
+        worklist: List[tuple] = []
+        seen = set()
+
+        def push(node: int) -> None:
+            if node not in seen:
+                seen.add(node)
+                heapq.heappush(worklist, (priority.get(node, node), node))
+
+        push(cfg.entry)
+        while worklist:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise RuntimeError("fixpoint did not converge "
+                                   f"within {self.max_iterations} iterations")
+            _, node = heapq.heappop(worklist)
+            seen.discard(node)
+            state = states[node]
+            if state.is_bottom():
+                continue
+            for edge in cfg.successors.get(node, []):
+                out = apply_action(state, edge.action, var_index,
+                                   integer_mode=self.integer_mode)
+                dst = edge.dst
+                old = states[dst]
+                if out.is_leq(old):
+                    continue
+                merged = old.join(out)
+                if dst in cfg.loop_heads:
+                    visits[dst] = visits.get(dst, 0) + 1
+                    if visits[dst] > self.widening_delay:
+                        widenings += 1
+                        merged = self._widen(old, merged)
+                states[dst] = merged
+                push(dst)
+
+        # Descending (narrowing) passes.
+        for _ in range(self.narrowing_steps):
+            changed = False
+            for node in sorted(range(cfg.n_nodes), key=lambda x: priority.get(x, x)):
+                if node == cfg.entry:
+                    continue
+                preds = cfg.predecessors.get(node, [])
+                if not preds:
+                    continue
+                new = factory.bottom(n)
+                for edge in preds:
+                    new = new.join(apply_action(states[edge.src], edge.action,
+                                                var_index,
+                                                integer_mode=self.integer_mode))
+                refined = (states[node].narrowing(new)
+                           if node in cfg.loop_heads else new)
+                if refined.is_leq(states[node]) and not states[node].is_leq(refined):
+                    states[node] = refined
+                    changed = True
+                    narrowings += 1
+            if not changed:
+                break
+
+        return FixpointResult(states, iterations, widenings, narrowings)

@@ -1,0 +1,99 @@
+"""Plain-text table/series rendering and result persistence.
+
+Benchmarks print the same rows/series the paper reports and also save
+them under ``results/`` so EXPERIMENTS.md can reference stable output.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Align columns; floats rendered with 3 significant digits."""
+
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            if x == 0:
+                return "0"
+            if abs(x) >= 1000 or abs(x) < 0.001:
+                return f"{x:.2e}"
+            return f"{x:.3g}"
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(t.ljust(w) for t, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def render_ascii_series(series: dict, *, width: int = 72, height: int = 16,
+                        logy: bool = True, title: str = "") -> str:
+    """Render named numeric series as an ASCII chart (Fig. 7 style)."""
+    symbols = "*o+x#@"
+    all_vals = [v for vals in series.values() for v in vals if v > 0]
+    if not all_vals:
+        return title + "\n(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if logy:
+        lo, hi = math.log10(lo), math.log10(max(hi, lo * 1.0000001))
+    span = max(hi - lo, 1e-12)
+    length = max(len(vals) for vals in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        sym = symbols[si % len(symbols)]
+        for i, v in enumerate(vals):
+            if v <= 0:
+                continue
+            x = int(i * (width - 1) / max(length - 1, 1))
+            y = math.log10(v) if logy else v
+            row = int((y - lo) / span * (height - 1))
+            grid[height - 1 - row][x] = sym
+    lines = [title] if title else []
+    axis = "log10" if logy else "linear"
+    lines.append(f"y: {axis}  range [{10**lo:.2e}, {10**hi:.2e}]" if logy
+                 else f"y range [{lo:.3g}, {hi:.3g}]")
+    for si, name in enumerate(series):
+        lines.append(f"  {symbols[si % len(symbols)]} = {name}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def results_dir() -> str:
+    base = os.environ.get("REPRO_RESULTS_DIR")
+    if base is None:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        base = os.path.join(here, "results")
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def save_result(name: str, text: str) -> str:
+    """Persist one experiment's rendered output; returns the path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    return path

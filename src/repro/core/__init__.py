@@ -1,0 +1,32 @@
+"""Core of the reproduction: the optimised Octagon abstract domain.
+
+Public surface:
+
+* :class:`Octagon` -- the optimised domain element (online
+  decomposition, sparse/dense/decomposed/top DBM kinds, vectorised
+  closure).
+* :class:`ApronOctagon` -- the APRON-faithful scalar baseline.
+* :class:`OctConstraint` / :class:`LinExpr` -- the constraint language.
+* :class:`SwitchPolicy` / :class:`DbmKind` -- the type-switching knobs.
+* :mod:`repro.core.stats` -- instrumentation used by the benchmarks.
+"""
+
+from .apron_octagon import ApronOctagon
+from .bounds import INF, NEG_INF
+from .constraints import LinExpr, OctConstraint
+from .kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
+from .octagon import Octagon
+from .partition import Partition
+
+__all__ = [
+    "ApronOctagon",
+    "DbmKind",
+    "DEFAULT_POLICY",
+    "INF",
+    "LinExpr",
+    "NEG_INF",
+    "OctConstraint",
+    "Octagon",
+    "Partition",
+    "SwitchPolicy",
+]

@@ -1,0 +1,379 @@
+"""The new dense closure (paper Algorithm 3 + section 5.2 optimisations).
+
+APRON's half-matrix closure (Algorithm 2) performs two candidate mins
+per stored entry for *each of the 2n* outer iterations because of the
+asymmetry of the coherent DBM.  The paper's key observation: run the
+``2k`` and ``2k+1`` pivot iterations *together*.  First bring the
+``2k``/``2k+1`` rows and columns up to date (possible with one min per
+entry, using only lower-triangle operands), then every remaining entry
+can be updated with its two candidate mins in any order -- enabling
+vectorisation -- for a total of ``8n^3 + O(n^2)`` operations, half of
+Algorithm 2.
+
+Three implementations:
+
+* :func:`closure_dense_scalar` -- pure-Python transcription of
+  Algorithm 3 on the half representation, instrumented so tests can
+  verify the operation-count halving against
+  :func:`dense_closure_op_count`.
+* :func:`closure_dense_packed` -- Algorithm 3 vectorised on a *packed*
+  flat copy of the half DBM (2n^2 + 2n doubles): the paper's buffered
+  pivot rows/columns become NumPy gathers (``flat[IDX[p]]``) and the
+  bulk update touches half the elements of a full-matrix sweep.  It
+  demonstrates the halved candidate count on vectorised kernels, but
+  NumPy's element-wise kernels are memory-bound and the gather/scatter
+  cost eats the arithmetic savings wall-clock-wise.
+* :func:`closure_dense_numpy` -- the production closure: the fastest
+  vectorised formulation in NumPy (paired-pivot full-coherent sweep
+  with a preallocated scratch buffer); see its docstring and
+  EXPERIMENTS.md for the measured trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .halfmat import HalfMat
+from .indexing import cap, half_size, matpos2
+from .stats import OpCounter
+from .strengthen import (
+    is_bottom_half,
+    is_bottom_numpy,
+    reset_diagonal_half,
+    reset_diagonal_numpy,
+    strengthen_scalar,
+)
+
+
+def dense_closure_op_count(n: int) -> int:
+    """Operation count of our Algorithm 3 transcription.
+
+    Per fused iteration ``k``: 4n pivot-line entries at one min each
+    (2 ops) and ``2n^2 - 2n`` remaining entries at two mins each
+    (4 ops), so ``8n^2`` ops; ``n`` iterations give ``8n^3``.
+    Strengthening adds 3 ops per stored entry: ``6n^2 + 6n``.  Total
+    ``8n^3 + 6n^2 + 6n`` -- the paper reports ``8n^3 + 10n^2 + 2n``
+    (the small constant-order difference comes from how the pivot-line
+    pass is accounted; the halving of the ``16n^3`` leading term is
+    exact).
+    """
+    return 8 * n ** 3 + 6 * n ** 2 + 6 * n
+
+
+# ----------------------------------------------------------------------
+# scalar (instrumented) variant
+# ----------------------------------------------------------------------
+def shortest_path_dense_scalar(m: HalfMat, counter: Optional[OpCounter] = None) -> None:
+    """Algorithm 3 shortest-path step on the half DBM, pure Python."""
+    n = m.n
+    dim = 2 * n
+    data = m.data
+    ticks = 0
+    for k in range(n):
+        p0, p1 = 2 * k, 2 * k + 1
+        base0 = (p0 + 1) * (p0 + 1) // 2
+        base1 = (p1 + 1) * (p1 + 1) // 2
+        # --- pivot lines first: one min per entry -----------------------
+        # Phase 1 = pivot p0 applied to the p1 lines.  The stored row p1
+        # holds columns 0..p1; its coherent continuation (columns > p1)
+        # is the stored column p0, so both loops together realise
+        # "update row p1" of the virtual full matrix.
+        w10 = data[base1 + p0]  # O[p1, p0]
+        for j in range(p1 + 1):  # row p1: O[p1,j] ^= O[p1,p0] + O[p0,j]
+            ticks += 1
+            cand = w10 + data[matpos2(p0, j)]
+            p = base1 + j
+            if cand < data[p]:
+                data[p] = cand
+        for i in range(p1 + 1, dim):  # col p0: O[i,p0] ^= O[p1,p0] + O[i,p1]
+            ticks += 1
+            basei = (i + 1) * (i + 1) // 2
+            cand = w10 + data[basei + p1]
+            p = basei + p0
+            if cand < data[p]:
+                data[p] = cand
+        # Phase 2 = pivot p1 applied to the p0 lines, using phase-1 results.
+        w01 = data[base0 + p1]  # O[p0, p1]
+        for j in range(p1 + 1):  # row p0: O[p0,j] ^= O[p0,p1] + O[p1,j]
+            ticks += 1
+            cand = w01 + data[matpos2(p1, j)]
+            p = base0 + j
+            if cand < data[p]:
+                data[p] = cand
+        for i in range(p1 + 1, dim):  # col p1: O[i,p1] ^= O[p0,p1] + O[i,p0]
+            ticks += 1
+            basei = (i + 1) * (i + 1) // 2
+            cand = w01 + data[basei + p0]
+            p = basei + p1
+            if cand < data[p]:
+                data[p] = cand
+        # --- bulk: two mins per remaining entry, any order --------------
+        for i in range(dim):
+            if i == p0 or i == p1:
+                continue
+            basei = (i + 1) * (i + 1) // 2
+            oip0 = data[matpos2(i, p0)]
+            oip1 = data[matpos2(i, p1)]
+            for j in range(cap(i) + 1):
+                if j == p0 or j == p1:
+                    continue
+                ticks += 2
+                p = basei + j
+                cand = oip0 + data[matpos2(p0, j)]
+                if cand < data[p]:
+                    data[p] = cand
+                cand = oip1 + data[matpos2(p1, j)]
+                if cand < data[p]:
+                    data[p] = cand
+    if counter is not None:
+        counter.tick(2 * ticks)
+
+
+def closure_dense_scalar(m: HalfMat, counter: Optional[OpCounter] = None) -> bool:
+    """Algorithm 3 + strengthening, scalar.  Returns True iff bottom."""
+    shortest_path_dense_scalar(m, counter)
+    strengthen_scalar(m, counter)
+    if is_bottom_half(m):
+        return True
+    reset_diagonal_half(m)
+    return False
+
+
+# ----------------------------------------------------------------------
+# packed-half index cache for the vectorised variant
+# ----------------------------------------------------------------------
+class _PackedIndex:
+    """Precomputed gather/scatter indices for one dimension ``n``.
+
+    * ``idx[i, j]`` -- packed offset of ``O[i, j]`` for any coordinate
+      (``matpos2`` as a 2n x 2n table), used to materialise "virtual"
+      full rows, the paper's contiguous scratch buffers.
+    * ``rows``/``cols`` -- for every packed slot, its (lower-triangle)
+      row and column coordinate; drive the bulk update gathers.
+    * ``cols_bar`` -- ``cols ^ 1``, for strengthening.
+    * ``diag``/``unary`` -- packed offsets of ``O[i, i]`` and
+      ``O[i, i^1]``.
+    """
+
+    __slots__ = ("n", "idx", "rows", "cols", "cols_bar", "diag", "unary")
+
+    def __init__(self, n: int):
+        self.n = n
+        dim = 2 * n
+        idx = np.empty((dim, dim), dtype=np.int64)
+        for i in range(dim):
+            for j in range(dim):
+                idx[i, j] = matpos2(i, j)
+        self.idx = idx
+        size = half_size(n)
+        rows = np.empty(size, dtype=np.int64)
+        cols = np.empty(size, dtype=np.int64)
+        for i in range(dim):
+            base = (i + 1) * (i + 1) // 2
+            for j in range(cap(i) + 1):
+                rows[base + j] = i
+                cols[base + j] = j
+        self.rows = rows
+        self.cols = cols
+        self.cols_bar = cols ^ 1
+        ar = np.arange(dim)
+        self.diag = idx[ar, ar].copy()
+        self.unary = idx[ar, ar ^ 1].copy()
+
+
+_INDEX_CACHE: Dict[int, _PackedIndex] = {}
+
+
+def packed_index(n: int) -> _PackedIndex:
+    cache = _INDEX_CACHE.get(n)
+    if cache is None:
+        cache = _PackedIndex(n)
+        _INDEX_CACHE[n] = cache
+    return cache
+
+
+def pack(full: np.ndarray) -> Tuple[np.ndarray, _PackedIndex]:
+    """Extract the packed half representation from a full coherent DBM."""
+    n = full.shape[0] // 2
+    px = packed_index(n)
+    flat = full[px.rows, px.cols].astype(np.float64, copy=True)
+    return flat, px
+
+
+def unpack(flat: np.ndarray, px: _PackedIndex, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Expand a packed half DBM back to the full coherent matrix."""
+    full = flat[px.idx]
+    if out is not None:
+        out[...] = full
+        return out
+    return full
+
+
+# ----------------------------------------------------------------------
+# vectorised variant (the production dense closure)
+# ----------------------------------------------------------------------
+def shortest_path_dense_packed(
+    flat: np.ndarray, px: _PackedIndex, counter: Optional[OpCounter] = None
+) -> None:
+    """Algorithm 3's shortest-path step on the packed half DBM."""
+    n = px.n
+    dim = 2 * n
+    xor = np.arange(dim) ^ 1
+    ticks = 0
+    for k in range(n):
+        p0, p1 = 2 * k, 2 * k + 1
+        # Buffer the two virtual pivot rows (contiguous scratch arrays;
+        # their mirrors are the pivot columns, so this covers all four
+        # pivot lines of the paper's first phase).
+        row1 = flat[px.idx[p1]]
+        row0 = flat[px.idx[p0]]
+        # pivot p0 on row p1, then pivot p1 on row p0 (uses updated row1)
+        np.minimum(row1, row1[p0] + row0, out=row1)
+        np.minimum(row0, row0[p1] + row1, out=row0)
+        flat[px.idx[p1]] = row1
+        flat[px.idx[p0]] = row0
+        # Bulk: O[i,j] = min(O[i,j], O[i,p0]+O[p0,j], O[i,p1]+O[p1,j]).
+        # Columns p0/p1 are coherent mirrors of rows p1/p0:
+        #   O[i,p0] == O[p1, i^1],   O[i,p1] == O[p0, i^1].
+        col0 = row1[xor]
+        col1 = row0[xor]
+        cand = col0[px.rows] + row0[px.cols]
+        np.minimum(cand, col1[px.rows] + row1[px.cols], out=cand)
+        np.minimum(flat, cand, out=flat)
+        ticks += 2 * flat.size + row0.size + row1.size
+    if counter is not None:
+        counter.tick(ticks)
+
+
+def closure_dense_packed(
+    flat: np.ndarray, px: _PackedIndex, counter: Optional[OpCounter] = None
+) -> bool:
+    """Algorithm 3 on the packed half DBM, vectorised. True iff bottom."""
+    shortest_path_dense_packed(flat, px, counter)
+    # Strengthening on the packed half with the buffered unary diagonal.
+    d = flat[px.unary]
+    cand = (d[px.rows] + d[px.cols_bar]) * 0.5
+    np.minimum(flat, cand, out=flat)
+    if counter is not None:
+        counter.tick(flat.size)
+    if bool((flat[px.diag] < 0.0).any()):
+        return True
+    flat[px.diag] = 0.0
+    return False
+
+
+def closure_dense_packed_roundtrip(m: np.ndarray,
+                                   counter: Optional[OpCounter] = None) -> bool:
+    """Algorithm 3 on the packed half representation of a full DBM.
+
+    Performs exactly half the candidate evaluations of a full-matrix
+    Floyd-Warshall sweep (demonstrable through ``counter``); in NumPy
+    the gather/scatter cost of the packed layout eats that advantage
+    wall-clock-wise, so :func:`closure_dense_numpy` below is the
+    production kernel and this one backs the op-count experiments.
+    """
+    flat, px = pack(m)
+    empty = closure_dense_packed(flat, px, counter)
+    if empty:
+        return True
+    unpack(flat, px, out=m)
+    return False
+
+
+_SCRATCH: Dict[int, np.ndarray] = {}
+
+
+def _scratch(dim: int) -> np.ndarray:
+    buf = _SCRATCH.get(dim)
+    if buf is None:
+        buf = np.empty((dim, dim), dtype=np.float64)
+        _SCRATCH[dim] = buf
+    return buf
+
+
+def closure_dense_numpy(m: np.ndarray, counter: Optional[OpCounter] = None) -> bool:
+    """Production dense closure on a full coherent DBM (in place).
+
+    One vectorised min-plus rank-1 update per pivot, pivots processed
+    in paired order (``2k`` then ``2k+1``, preserving coherence),
+    followed by vectorised strengthening with the buffered unary
+    diagonal.  Returns True iff the octagon is empty.
+
+    A note on the paper's operation-count halving: Algorithm 3 performs
+    half the candidate evaluations of this sweep (see
+    :func:`closure_dense_scalar` / :func:`closure_dense_packed`, whose
+    instrumented counts verify the claim exactly).  The paper's AVX
+    kernels are compute-bound, so halving operations halves time; NumPy
+    element-wise kernels are *memory-bound* and the packed half-matrix
+    layout pays more in gather/scatter than it saves in arithmetic, so
+    the full coherent sweep is the fastest vectorised formulation here
+    (measured in EXPERIMENTS.md).
+    """
+    dim = m.shape[0]
+    if dim == 0:
+        return False
+    t = _scratch(dim)
+    for p in range(dim):
+        np.add(m[:, p, None], m[None, p, :], out=t)
+        np.minimum(m, t, out=m)
+    # Strengthening with the buffered unary diagonal.
+    xor = np.arange(dim) ^ 1
+    d = m[np.arange(dim), xor]
+    np.add(d[:, None], d[xor][None, :], out=t)
+    t *= 0.5
+    np.minimum(m, t, out=m)
+    if counter is not None:
+        counter.tick(2 * 2 * dim ** 3 + 3 * dim ** 2)
+    if is_bottom_numpy(m):
+        return True
+    reset_diagonal_numpy(m)
+    return False
+    t = _scratch(dim)
+    xor = np.arange(dim) ^ 1
+    ticks = 0
+    for p0 in range(0, dim, 2):
+        p1 = p0 + 1
+        # Pivot lines first: pivot p0 tightens row p1, then pivot p1
+        # tightens row p0 using the updated row p1 (Algorithm 3's
+        # one-min-per-entry phase).  Columns are the coherent mirrors.
+        np.minimum(m[p1, :], m[p1, p0] + m[p0, :], out=m[p1, :])
+        np.minimum(m[p0, :], m[p0, p1] + m[p1, :], out=m[p0, :])
+        m[:, p0] = m[p1, xor]
+        m[:, p1] = m[p0, xor]
+        # Bulk: both pivot candidates, scratch-buffered, allocation-free.
+        np.add(m[:, p0, None], m[p0, None, :], out=t)
+        np.minimum(m, t, out=m)
+        np.add(m[:, p1, None], m[p1, None, :], out=t)
+        np.minimum(m, t, out=m)
+        ticks += 4 * dim * dim + 2 * dim
+    # Strengthening with the buffered unary diagonal.
+    d = m[np.arange(dim), xor]
+    np.add(d[:, None], d[xor][None, :], out=t)
+    t *= 0.5
+    np.minimum(m, t, out=m)
+    ticks += dim * dim
+    if counter is not None:
+        counter.tick(ticks)
+    if is_bottom_numpy(m):
+        return True
+    reset_diagonal_numpy(m)
+    return False
+
+
+def shortest_path_dense_numpy(m: np.ndarray, counter: Optional[OpCounter] = None) -> None:
+    """Shortest-path step only, on a full coherent DBM (in place).
+
+    Used by the decomposed closure on dense component submatrices
+    (strengthening runs globally there, to handle component merging).
+    """
+    dim = m.shape[0]
+    if dim == 0:
+        return
+    t = _scratch(dim)
+    for p in range(dim):
+        np.add(m[:, p, None], m[None, p, :], out=t)
+        np.minimum(m, t, out=m)
+    if counter is not None:
+        counter.tick(2 * 2 * dim ** 3)

@@ -1,0 +1,73 @@
+"""Sparse octagon closure (paper section 5.3).
+
+Shortest-path closure is a transitive minimisation: the candidate
+``O[i,k] + O[k,j]`` can only tighten ``O[i,j]`` when *both* operands are
+finite.  When the DBM is sparse (mostly trivial), almost all candidates
+are dead.  The paper's sparse closure builds, for each outer iteration,
+an index of the finite entries in the pivot rows and columns -- linear
+time and space per iteration -- and performs min operations only for
+index pairs.  Total cost ``O(n^2 + sum_i k_i * l_i)`` where ``k_i`` and
+``l_i`` count finite entries in the pivot rows/columns: quadratic for
+very sparse DBMs versus cubic for dense ones.
+
+Our implementation works on the full coherent matrix: per pivot it
+extracts the finite positions of the pivot row and column with
+``np.nonzero`` (the index build) and updates only the ``l x k``
+rectangle of live candidates with one fancy-indexed vectorised min (the
+index-driven update).  Pivots are applied strictly in the paired order
+``2k, 2k+1``, which preserves coherence (see closure_dense).
+
+The function returns the number of candidate updates actually
+performed, which benchmarks use to demonstrate the Table 1 complexity
+``O(n^2 + sum k_i l_i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .stats import OpCounter
+from .strengthen import (
+    is_bottom_numpy,
+    reset_diagonal_numpy,
+    strengthen_sparse_numpy,
+)
+
+
+def shortest_path_sparse(m: np.ndarray, counter: Optional[OpCounter] = None) -> int:
+    """Index-driven shortest-path closure on a full coherent DBM."""
+    dim = m.shape[0]
+    candidates = 0
+    for p in range(dim):
+        row = m[p]
+        col = m[:, p]
+        # Build the per-iteration index of finite operands (linear scan).
+        finite_j = np.nonzero(np.isfinite(row))[0]
+        finite_i = np.nonzero(np.isfinite(col))[0]
+        if finite_j.size == 0 or finite_i.size == 0:
+            continue
+        sub = m[np.ix_(finite_i, finite_j)]
+        cand = col[finite_i][:, None] + row[finite_j][None, :]
+        np.minimum(sub, cand, out=sub)
+        m[np.ix_(finite_i, finite_j)] = sub
+        candidates += int(finite_i.size) * int(finite_j.size)
+    if counter is not None:
+        counter.tick(2 * candidates)
+    return candidates
+
+
+def closure_sparse(m: np.ndarray, counter: Optional[OpCounter] = None) -> bool:
+    """Sparse closure: index-driven shortest path + sparse strengthening.
+
+    Returns True iff the octagon is empty.
+    """
+    shortest_path_sparse(m, counter)
+    performed = strengthen_sparse_numpy(m)
+    if counter is not None:
+        counter.tick(3 * performed)
+    if is_bottom_numpy(m):
+        return True
+    reset_diagonal_numpy(m)
+    return False

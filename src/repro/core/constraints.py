@@ -1,0 +1,216 @@
+"""Octagonal and linear constraints, and their DBM encodings.
+
+The Octagon domain supports inequalities ``a*vi + b*vj <= c`` with
+``a, b`` in ``{-1, 0, +1}``.  :class:`OctConstraint` is the normal form
+used at the library boundary; :func:`dbm_cells` maps a constraint to
+the DBM entries it tightens, and :func:`constraints_from_dbm` extracts
+a minimal constraint system back out of a (closed) matrix.
+
+General linear expressions (:class:`LinExpr`) are supported the way
+APRON supports them: by *interval linearisation* -- evaluating the
+non-octagonal part in interval arithmetic and falling back to interval
+constraints on the target variable.  That keeps the public API closed
+under arbitrary linear assignments/tests while staying sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .bounds import INF, is_finite
+
+
+@dataclass(frozen=True)
+class OctConstraint:
+    """``coeff_i * v_i + coeff_j * v_j <= bound`` with unit coefficients.
+
+    Unary constraints set ``j = i`` and ``coeff_j = 0`` (``+-v_i <= c``).
+    """
+
+    i: int
+    coeff_i: int
+    j: int
+    coeff_j: int
+    bound: float
+
+    def __post_init__(self):
+        if self.coeff_i not in (-1, 1):
+            raise ValueError("coeff_i must be -1 or +1")
+        if self.coeff_j not in (-1, 0, 1):
+            raise ValueError("coeff_j must be -1, 0 or +1")
+        if self.coeff_j == 0 and self.i != self.j:
+            raise ValueError("unary constraint must have j == i")
+        if self.coeff_j != 0 and self.i == self.j:
+            raise ValueError("binary constraint needs distinct variables")
+
+    # -- convenient constructors ---------------------------------------
+    @staticmethod
+    def upper(v: int, c: float) -> "OctConstraint":
+        """``v <= c``"""
+        return OctConstraint(v, 1, v, 0, c)
+
+    @staticmethod
+    def lower(v: int, c: float) -> "OctConstraint":
+        """``v >= c`` encoded as ``-v <= -c``"""
+        return OctConstraint(v, -1, v, 0, -c)
+
+    @staticmethod
+    def diff(vi: int, vj: int, c: float) -> "OctConstraint":
+        """``vi - vj <= c``"""
+        return OctConstraint(vi, 1, vj, -1, c)
+
+    @staticmethod
+    def sum(vi: int, vj: int, c: float) -> "OctConstraint":
+        """``vi + vj <= c``"""
+        return OctConstraint(vi, 1, vj, 1, c)
+
+    @staticmethod
+    def neg_sum(vi: int, vj: int, c: float) -> "OctConstraint":
+        """``-vi - vj <= c``"""
+        return OctConstraint(vi, -1, vj, -1, c)
+
+    def variables(self) -> Tuple[int, ...]:
+        return (self.i,) if self.coeff_j == 0 else (self.i, self.j)
+
+    def evaluate(self, values: Sequence[float]) -> bool:
+        """Does a concrete point satisfy the constraint?"""
+        total = self.coeff_i * values[self.i]
+        if self.coeff_j != 0:
+            total += self.coeff_j * values[self.j]
+        return total <= self.bound
+
+    def __str__(self) -> str:
+        def term(coeff: int, v: int) -> str:
+            return f"{'-' if coeff < 0 else '+'}v{v}"
+
+        if self.coeff_j == 0:
+            return f"{term(self.coeff_i, self.i)} <= {self.bound}"
+        return f"{term(self.coeff_i, self.i)} {term(self.coeff_j, self.j)} <= {self.bound}"
+
+
+def dbm_cells(cons: OctConstraint) -> List[Tuple[int, int, float]]:
+    """DBM entries ``(row, col, bound)`` tightened by a constraint.
+
+    Encoding (paper Figure 1): ``O[r, c] = b`` states
+    ``vhat_c - vhat_r <= b`` with ``vhat_{2v} = +v``, ``vhat_{2v+1} = -v``.
+    Unary ``a*v <= c`` becomes ``2*a*v <= 2c`` on the ``+v``/``-v`` pair.
+    Both coherent mirror entries are returned so full-matrix callers
+    stay coherent without extra work.
+    """
+    a, b = cons.coeff_i, cons.coeff_j
+    vi, vj, c = cons.i, cons.j, cons.bound
+    if b == 0:
+        if a == 1:  # v <= c  ->  vhat_{2v} - vhat_{2v+1} <= 2c
+            r, s = 2 * vi + 1, 2 * vi
+        else:  # -v <= c  ->  vhat_{2v+1} - vhat_{2v} <= 2c
+            r, s = 2 * vi, 2 * vi + 1
+        return [(r, s, 2.0 * c)]
+    if a == 1 and b == -1:  # vi - vj <= c: vhat_{2vi} - vhat_{2vj} <= c
+        r, s = 2 * vj, 2 * vi
+    elif a == -1 and b == 1:  # vj - vi <= c
+        r, s = 2 * vi, 2 * vj
+    elif a == 1 and b == 1:  # vi + vj <= c: vhat_{2vi} - vhat_{2vj+1} <= c
+        r, s = 2 * vj + 1, 2 * vi
+    else:  # -vi - vj <= c: vhat_{2vj+1} - vhat_{2vi} <= c
+        r, s = 2 * vi, 2 * vj + 1
+    return [(r, s, c), (s ^ 1, r ^ 1, c)]
+
+
+def constraint_of_cell(r: int, s: int, bound: float) -> OctConstraint:
+    """Inverse of :func:`dbm_cells` for a single finite DBM entry."""
+    vi, vj = r // 2, s // 2
+    if vi == vj:
+        if r == s:
+            raise ValueError("diagonal entries carry no constraint")
+        # vhat_s - vhat_r <= bound with s == r^1: a unary constraint.
+        if s % 2 == 0:  # +v - (-v) = 2v <= bound
+            return OctConstraint.upper(vi, bound / 2.0)
+        return OctConstraint.lower(vi, -bound / 2.0)
+    sign_s = 1 if s % 2 == 0 else -1
+    sign_r = -1 if r % 2 == 0 else 1  # minus vhat_r
+    # constraint: sign_s * v_{vj'} + sign_r * v_{vi'} <= bound where
+    # vj' owns column s and vi' owns row r.
+    return OctConstraint(vj, sign_s, vi, sign_r, bound)
+
+
+def constraints_from_dbm(m: np.ndarray) -> List[OctConstraint]:
+    """Extract all non-trivial constraints from a full coherent DBM.
+
+    Each inequality is reported once (coherent duplicates skipped) and
+    diagonal entries are ignored.
+    """
+    dim = m.shape[0]
+    out: List[OctConstraint] = []
+    for r in range(dim):
+        for s in range(min(dim, (r | 1) + 1)):
+            if r == s:
+                continue
+            c = m[r, s]
+            if is_finite(c):
+                out.append(constraint_of_cell(r, s, float(c)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# general linear expressions (interval linearisation support)
+# ----------------------------------------------------------------------
+@dataclass
+class LinExpr:
+    """``sum coeffs[v] * v + const`` over program variables."""
+
+    coeffs: Dict[int, float] = field(default_factory=dict)
+    const: float = 0.0
+
+    @staticmethod
+    def of_var(v: int) -> "LinExpr":
+        return LinExpr({v: 1.0}, 0.0)
+
+    @staticmethod
+    def of_const(c: float) -> "LinExpr":
+        return LinExpr({}, float(c))
+
+    def scaled(self, k: float) -> "LinExpr":
+        return LinExpr({v: k * c for v, c in self.coeffs.items()}, k * self.const)
+
+    def plus(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0.0) + c
+        coeffs = {v: c for v, c in coeffs.items() if c != 0.0}
+        return LinExpr(coeffs, self.const + other.const)
+
+    def minus(self, other: "LinExpr") -> "LinExpr":
+        return self.plus(other.scaled(-1.0))
+
+    def variables(self) -> Iterator[int]:
+        return iter(self.coeffs)
+
+    def is_octagonal_unit(self) -> bool:
+        """All coefficients in {-1, +1} and at most two variables."""
+        return len(self.coeffs) <= 2 and all(c in (-1.0, 1.0) for c in self.coeffs.values())
+
+    def interval(self, var_bounds: Callable[[int], Tuple[float, float]]) -> Tuple[float, float]:
+        """Evaluate in interval arithmetic given per-variable bounds."""
+        lo = hi = self.const
+        for v, c in self.coeffs.items():
+            vlo, vhi = var_bounds(v)
+            if c >= 0:
+                tlo = -INF if vlo == -INF else c * vlo
+                thi = INF if vhi == INF else c * vhi
+            else:
+                tlo = -INF if vhi == INF else c * vhi
+                thi = INF if vlo == -INF else c * vlo
+            lo = -INF if (lo == -INF or tlo == -INF) else lo + tlo
+            hi = INF if (hi == INF or thi == INF) else hi + thi
+        return lo, hi
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        return self.const + sum(c * values[v] for v, c in self.coeffs.items())
+
+    def __str__(self) -> str:
+        parts = [f"{c:+g}*v{v}" for v, c in sorted(self.coeffs.items())]
+        parts.append(f"{self.const:+g}")
+        return " ".join(parts)

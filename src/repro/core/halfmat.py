@@ -1,0 +1,126 @@
+"""Pure-Python half-matrix DBM storage (the APRON baseline layout).
+
+APRON's octagon domain stores the lower-triangular half of the coherent
+``2n x 2n`` DBM in one flat array of ``2n^2 + 2n`` doubles.  The
+baseline :class:`~repro.core.apron_octagon.ApronOctagon` uses this
+storage together with the scalar closure of paper Algorithm 2, making
+it a faithful stand-in for the original C library: same data structure,
+same algorithms, same operation count -- just interpreted.
+
+The class is deliberately simple: a list of floats plus the number of
+variables.  All coordinate translation goes through
+:mod:`repro.core.indexing`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .bounds import INF, is_finite
+from .indexing import cap, half_size, matpos, matpos2
+
+
+class HalfMat:
+    """Flat lower-triangular storage of a coherent octagon DBM."""
+
+    __slots__ = ("n", "data")
+
+    def __init__(self, n: int, fill: float = INF):
+        self.n = n
+        self.data: List[float] = [fill] * half_size(n)
+        if fill == INF:
+            for i in range(2 * n):
+                self.data[matpos(i, i)] = 0.0
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def get(self, i: int, j: int) -> float:
+        """Read ``O[i, j]`` (any coordinate; coherence applied)."""
+        return self.data[matpos2(i, j)]
+
+    def set(self, i: int, j: int, c: float) -> None:
+        """Write ``O[i, j]`` (any coordinate; coherence applied)."""
+        self.data[matpos2(i, j)] = c
+
+    def min_set(self, i: int, j: int, c: float) -> None:
+        """Tighten ``O[i, j]`` to ``min(O[i, j], c)``."""
+        p = matpos2(i, j)
+        if c < self.data[p]:
+            self.data[p] = c
+
+    # ------------------------------------------------------------------
+    # whole-matrix helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "HalfMat":
+        m = HalfMat.__new__(HalfMat)
+        m.n = self.n
+        m.data = list(self.data)
+        return m
+
+    def fill_top(self) -> None:
+        """Reset to the top element (all trivial, zero diagonal)."""
+        data = self.data
+        for p in range(len(data)):
+            data[p] = INF
+        for i in range(2 * self.n):
+            data[matpos(i, i)] = 0.0
+
+    def count_finite(self) -> int:
+        """Number of finite entries in the half representation."""
+        return sum(1 for c in self.data if is_finite(c))
+
+    def iter_entries(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(i, j, c)`` for every stored coordinate."""
+        data = self.data
+        for i in range(2 * self.n):
+            base = ((i + 1) * (i + 1)) // 2
+            for j in range(cap(i) + 1):
+                yield i, j, data[base + j]
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_full(self) -> np.ndarray:
+        """Expand to a full coherent ``2n x 2n`` NumPy matrix."""
+        dim = 2 * self.n
+        full = np.full((dim, dim), INF, dtype=np.float64)
+        for i, j, c in self.iter_entries():
+            full[i, j] = c
+            full[j ^ 1, i ^ 1] = c
+        return full
+
+    @classmethod
+    def from_full(cls, full: np.ndarray) -> "HalfMat":
+        """Build from a full coherent matrix (lower triangle is read).
+
+        The caller is responsible for coherence; only the stored half is
+        consulted, matching how APRON imports matrices.
+        """
+        dim = full.shape[0]
+        if dim % 2 != 0 or full.shape[1] != dim:
+            raise ValueError(f"full DBM must be 2n x 2n, got {full.shape}")
+        m = cls(dim // 2)
+        data = m.data
+        for i in range(dim):
+            base = ((i + 1) * (i + 1)) // 2
+            row = full[i]
+            for j in range(cap(i) + 1):
+                data[base + j] = float(row[j])
+        return m
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HalfMat):
+            return NotImplemented
+        return self.n == other.n and self.data == other.data
+
+    def __hash__(self):  # mutable container
+        raise TypeError("HalfMat is unhashable")
+
+    def __repr__(self) -> str:
+        return f"HalfMat(n={self.n}, finite={self.count_finite()})"

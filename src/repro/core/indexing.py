@@ -1,0 +1,105 @@
+"""Index arithmetic for octagon DBMs.
+
+An octagon over ``n`` program variables ``v_0 .. v_{n-1}`` is encoded by
+a ``2n x 2n`` difference bound matrix over the *extended* variables
+
+    vhat_{2i}   = +v_i
+    vhat_{2i+1} = -v_i
+
+The entry ``O[i, j] = c`` encodes ``vhat_j - vhat_i <= c``.  Because
+``vhat_{k^1} = -vhat_k`` (where ``^`` is xor), the matrix is *coherent*:
+``O[i, j]`` and ``O[j^1, i^1]`` encode the same inequality.  APRON
+exploits this by storing only the lower-triangular half, the entries
+``O[i, j]`` with ``j <= (i | 1)``, in a flat array of ``2n^2 + 2n``
+elements.  This module provides that index arithmetic.
+
+Naming follows the APRON sources: ``matpos`` maps a lower-triangle
+coordinate to its flat offset, ``matpos2`` additionally redirects
+upper-triangle coordinates through coherence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+def bar(i: int) -> int:
+    """Return ``i ^ 1``: the index of the negated extended variable."""
+    return i ^ 1
+
+
+def cap(i: int) -> int:
+    """Return ``i | 1``: the largest column stored in row ``i``."""
+    return i | 1
+
+
+def half_size(n: int) -> int:
+    """Number of entries in the half (lower-triangular) DBM: ``2n^2 + 2n``."""
+    return 2 * n * n + 2 * n
+
+
+def full_dim(n: int) -> int:
+    """Dimension of the full DBM: ``2n``."""
+    return 2 * n
+
+
+def matpos(i: int, j: int) -> int:
+    """Flat offset of ``O[i, j]`` for a lower-triangle coordinate.
+
+    Precondition: ``j <= (i | 1)``.  The rows of the half DBM have
+    lengths 2, 2, 4, 4, 6, 6, ... so row ``i`` starts at offset
+    ``((i + 1) * (i + 1)) // 2`` rounded to the row grid; the APRON
+    closed form is ``j + ((i + 1) * (i + 1)) // 2``.
+    """
+    return j + ((i + 1) * (i + 1)) // 2
+
+
+def matpos2(i: int, j: int) -> int:
+    """Flat offset of ``O[i, j]`` for *any* coordinate.
+
+    Upper-triangle coordinates (``j > i | 1``) are redirected to the
+    coherent mirror entry ``O[j^1, i^1]``.
+    """
+    if j > (i | 1):
+        return matpos(j ^ 1, i ^ 1)
+    return matpos(i, j)
+
+
+def in_lower(i: int, j: int) -> bool:
+    """Return True if ``(i, j)`` lies in the stored half of the DBM."""
+    return j <= (i | 1)
+
+
+def iter_half(n: int) -> Iterator[Tuple[int, int]]:
+    """Iterate over all stored (lower-triangle) coordinates of the DBM."""
+    for i in range(2 * n):
+        for j in range(cap(i) + 1):
+            yield i, j
+
+
+def var_plus(v: int) -> int:
+    """DBM index of the extended variable ``+v``."""
+    return 2 * v
+
+
+def var_minus(v: int) -> int:
+    """DBM index of the extended variable ``-v``."""
+    return 2 * v + 1
+
+
+def var_of_index(i: int) -> int:
+    """Program variable owning the extended index ``i``."""
+    return i // 2
+
+
+def expand_vars(variables: List[int]) -> List[int]:
+    """Expand sorted variable indices to their DBM row/column indices.
+
+    ``[1, 3] -> [2, 3, 6, 7]`` -- used to slice the submatrix of an
+    independent component out of the full DBM.
+    """
+    out: List[int] = []
+    for v in variables:
+        out.append(2 * v)
+        out.append(2 * v + 1)
+    return out

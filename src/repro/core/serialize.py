@@ -1,0 +1,137 @@
+"""Serialisation of octagons and analysis results.
+
+Two formats:
+
+* **JSON** (:func:`octagon_to_json` / :func:`octagon_from_json`) -- the
+  octagon as its constraint system plus metadata. Human-readable,
+  diff-friendly, portable across implementations (an ``ApronOctagon``
+  can load a JSON produced from an ``Octagon`` and vice versa);
+  infinite bounds never appear (trivial constraints are simply absent).
+* **NPZ** (:func:`octagon_save_npz` / :func:`octagon_load_npz`) -- the
+  raw DBM for bit-exact round trips of large octagons.
+
+Plus :func:`analysis_report` for exporting an
+:class:`~repro.analysis.analyzer.AnalysisResult` as a JSON document
+(per-procedure exit boxes and check outcomes), which the CLI and
+benchmark tooling can archive.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from .apron_octagon import ApronOctagon
+from .bounds import INF
+from .constraints import OctConstraint
+from .octagon import Octagon
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSON: constraint-system form
+# ----------------------------------------------------------------------
+def octagon_to_dict(oct_) -> Dict:
+    """Serialise any octagon implementation to a plain dictionary."""
+    if oct_.is_bottom():
+        return {"version": FORMAT_VERSION, "n": oct_.n, "bottom": True,
+                "constraints": []}
+    constraints = [[c.i, c.coeff_i, c.j, c.coeff_j, c.bound]
+                   for c in oct_.to_constraints()]
+    return {"version": FORMAT_VERSION, "n": oct_.n, "bottom": False,
+            "constraints": constraints}
+
+
+def octagon_from_dict(raw: Dict, cls: Type = Octagon):
+    """Rebuild an octagon (of class ``cls``) from its dictionary form."""
+    if raw.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {raw.get('version')!r}")
+    n = int(raw["n"])
+    if raw.get("bottom"):
+        return cls.bottom(n)
+    constraints = [OctConstraint(int(i), int(ci), int(j), int(cj), float(b))
+                   for i, ci, j, cj, b in raw["constraints"]]
+    return cls.from_constraints(n, constraints)
+
+
+def octagon_to_json(oct_) -> str:
+    return json.dumps(octagon_to_dict(oct_))
+
+
+def octagon_from_json(text: str, cls: Type = Octagon):
+    return octagon_from_dict(json.loads(text), cls)
+
+
+# ----------------------------------------------------------------------
+# NPZ: raw-DBM form (bit-exact)
+# ----------------------------------------------------------------------
+def octagon_save_npz(oct_: Octagon, path: str) -> None:
+    """Save the raw coherent DBM (``Octagon`` only)."""
+    np.savez_compressed(path, mat=oct_.mat,
+                        bottom=np.array([oct_.is_bottom()]),
+                        closed=np.array([oct_.closed]))
+
+
+def octagon_load_npz(path: str) -> Octagon:
+    with np.load(path) as data:
+        if bool(data["bottom"][0]):
+            return Octagon.bottom(data["mat"].shape[0] // 2)
+        oct_ = Octagon.from_matrix(data["mat"])
+        if bool(data["closed"][0]):
+            oct_.closed = True
+        return oct_
+
+
+# ----------------------------------------------------------------------
+# analysis reports
+# ----------------------------------------------------------------------
+def _bound(value: float) -> Optional[float]:
+    if value == INF or value == -INF:
+        return None
+    return float(value)
+
+
+def analysis_report(result) -> Dict:
+    """Export an AnalysisResult as a JSON-able report document."""
+    procedures: List[Dict] = []
+    for proc in result.procedures:
+        state = proc.invariant_at_exit()
+        if state.is_bottom():
+            exit_box = None
+        else:
+            exit_box = {
+                name: [_bound(lo), _bound(hi)]
+                for name, (lo, hi) in zip(proc.cfg.variables, state.to_box())
+            }
+        procedures.append({
+            "name": proc.name,
+            "variables": list(proc.cfg.variables),
+            "exit_reachable": exit_box is not None,
+            "exit_box": exit_box,
+            "checks": [{"condition": c.cond_text, "verified": c.verified}
+                       for c in proc.checks],
+        })
+    total = len(result.checks)
+    verified = sum(1 for c in result.checks if c.verified)
+    return {
+        "version": FORMAT_VERSION,
+        "seconds": result.seconds,
+        "checks_verified": verified,
+        "checks_total": total,
+        "procedures": procedures,
+    }
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "analysis_report",
+    "octagon_from_dict",
+    "octagon_from_json",
+    "octagon_load_npz",
+    "octagon_save_npz",
+    "octagon_to_dict",
+    "octagon_to_json",
+]

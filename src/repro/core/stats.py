@@ -1,0 +1,167 @@
+"""Instrumentation: operation counters, timers and closure traces.
+
+Three consumers drive the design:
+
+* **Op-count verification** (paper section 5): the scalar closure
+  variants count their ``min``/add operations so tests can check the
+  paper's polynomial formulas (``16n^3 + 22n^2 + 6n`` for APRON's
+  closure, ``8n^3 + 10n^2 + 2n`` for the new dense closure) exactly.
+* **Table 2 / Fig 7**: every closure performed during an analysis is
+  recorded (variable count, DBM kind used, wall time) so the benchmark
+  harness can regenerate the per-benchmark closure statistics and the
+  per-closure runtime trace.
+* **Fig 8 / Table 3**: aggregate time spent inside octagon operations,
+  per operator, so end-to-end speedups can be decomposed.
+
+A single module-level :class:`StatsCollector` is active at a time; the
+:func:`collecting` context manager installs a fresh one.  When no
+collector is active all recording is a no-op with negligible overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class ClosureRecord:
+    """One closure call observed during an analysis."""
+
+    n: int  # number of variables in the DBM
+    kind: str  # DBM kind the closure ran on: dense/sparse/decomposed/top
+    seconds: float
+    components: int = 1  # component count for decomposed closures
+
+
+@dataclass
+class StatsCollector:
+    """Accumulates operator timings and closure records.
+
+    With ``capture_closure_inputs`` set, every *full* closure performed
+    by the optimised octagon also stores a copy of its input DBM and
+    component partition, so the Fig. 7 benchmark can replay the exact
+    same closure workload through every closure implementation.
+    """
+
+    op_seconds: Dict[str, float] = field(default_factory=dict)
+    op_calls: Dict[str, int] = field(default_factory=dict)
+    closures: List[ClosureRecord] = field(default_factory=list)
+    capture_closure_inputs: bool = False
+    closure_inputs: List[tuple] = field(default_factory=list)
+
+    def record_op(self, name: str, seconds: float) -> None:
+        self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
+        self.op_calls[name] = self.op_calls.get(name, 0) + 1
+
+    def record_closure(self, record: ClosureRecord) -> None:
+        self.closures.append(record)
+
+    def record_closure_input(self, matrix, blocks) -> None:
+        if self.capture_closure_inputs:
+            self.closure_inputs.append((matrix, blocks))
+
+    # ------------------------------------------------------------------
+    # summaries used by the benchmark harness
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.op_seconds.values())
+
+    @property
+    def full_closures(self) -> List[ClosureRecord]:
+        """Full (cubic) closures; incremental re-closures excluded."""
+        return [rec for rec in self.closures if "incremental" not in rec.kind]
+
+    @property
+    def closure_seconds(self) -> float:
+        """Time spent in *full* closures.
+
+        Incremental closures run inside the ``assign``/``meet_constraint``
+        operator timers and are already included in ``total_seconds``;
+        full closures run outside any operator timer, so total octagon
+        time is ``total_seconds + closure_seconds``.
+        """
+        return sum(rec.seconds for rec in self.full_closures)
+
+    def closure_stats(self) -> Dict[str, float]:
+        """The Table 2 statistics: nmin, nmax and #closures."""
+        full = self.full_closures
+        if not full:
+            return {"nmin": 0, "nmax": 0, "closures": 0,
+                    "incremental": len(self.closures)}
+        sizes = [rec.n for rec in full]
+        return {
+            "nmin": min(sizes),
+            "nmax": max(sizes),
+            "closures": len(full),
+            "incremental": len(self.closures) - len(full),
+        }
+
+
+_ACTIVE: Optional[StatsCollector] = None
+
+
+def active_collector() -> Optional[StatsCollector]:
+    """The collector currently receiving events, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def collecting() -> Iterator[StatsCollector]:
+    """Install a fresh collector for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    collector = StatsCollector()
+    _ACTIVE = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def timed_op(name: str) -> Iterator[None]:
+    """Attribute the wall time of the block to operator ``name``."""
+    collector = _ACTIVE
+    if collector is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector.record_op(name, time.perf_counter() - start)
+
+
+def record_closure(n: int, kind: str, seconds: float, components: int = 1) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.record_closure(ClosureRecord(n, kind, seconds, components))
+
+
+def record_closure_input(matrix, blocks) -> None:
+    """Capture a full-closure input (matrix copy + partition blocks)."""
+    if _ACTIVE is not None and _ACTIVE.capture_closure_inputs:
+        _ACTIVE.record_closure_input(matrix, blocks)
+
+
+class OpCounter:
+    """Counts scalar DBM operations for complexity verification.
+
+    One ``count`` unit is one *candidate tightening*: evaluating
+    ``min(O_ij, O_ik + O_kj)`` (one add + one compare), the unit the
+    paper uses when stating ``16n^3 + 22n^2 + 6n``.
+    """
+
+    __slots__ = ("mins",)
+
+    def __init__(self) -> None:
+        self.mins = 0
+
+    def tick(self, amount: int = 1) -> None:
+        self.mins += amount
+
+    def reset(self) -> None:
+        self.mins = 0

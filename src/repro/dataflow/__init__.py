@@ -1,0 +1,21 @@
+"""Classic dataflow analyses over the mini-language CFG.
+
+These play the role of the "other analyzer components" in the paper's
+Table 3: real (non-octagon) analysis work -- liveness, reaching
+definitions and constant propagation -- that a host analyzer performs
+alongside the numerical domain, bounding the end-to-end speedup.
+"""
+
+from .constprop import ConstantPropagation, constant_propagation
+from .framework import DataflowProblem, solve_dataflow
+from .liveness import liveness
+from .reaching import reaching_definitions
+
+__all__ = [
+    "ConstantPropagation",
+    "DataflowProblem",
+    "constant_propagation",
+    "liveness",
+    "reaching_definitions",
+    "solve_dataflow",
+]

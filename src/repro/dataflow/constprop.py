@@ -1,0 +1,121 @@
+"""Forward constant propagation over the flat constant lattice.
+
+Per variable: ``UNDEF`` (bottom, no path), a concrete constant, or
+``NAC`` (not a constant).  States are immutable dicts from variable to
+constant; absent variables are UNDEF, the sentinel :data:`NAC` marks
+conflicts.  This is the third "auxiliary analyzer component" used to
+model the non-octagon fraction of the paper's end-to-end analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from ..frontend.ast_nodes import (
+    AExpr, Assign, AssignInterval, Assume, BinOp, Havoc, Neg, Num, Var,
+)
+from ..frontend.cfg import CFG, CfgEdge
+from .framework import DataflowProblem, solve_dataflow
+
+
+class _NotAConstant:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NAC"
+
+
+NAC = _NotAConstant()
+
+Value = Union[float, _NotAConstant]
+State = Optional[Mapping[str, Value]]  # None = unreachable (bottom)
+
+
+class ConstantPropagation:
+    """Holder for the per-node results with convenience queries."""
+
+    def __init__(self, values: Dict[int, State]):
+        self.values = values
+
+    def constant_at(self, node: int, var: str) -> Optional[float]:
+        state = self.values.get(node)
+        if state is None:
+            return None
+        value = state.get(var)
+        return value if isinstance(value, float) else None
+
+
+def _eval(expr: AExpr, state: Mapping[str, Value]) -> Value:
+    if isinstance(expr, Num):
+        return float(expr.value)
+    if isinstance(expr, Var):
+        return state.get(expr.name, NAC)
+    if isinstance(expr, Neg):
+        inner = _eval(expr.operand, state)
+        return -inner if isinstance(inner, float) else NAC
+    if isinstance(expr, BinOp):
+        left, right = _eval(expr.left, state), _eval(expr.right, state)
+        if isinstance(left, float) and isinstance(right, float):
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+        # Algebraic shortcut: anything times the constant 0 is 0.
+        if expr.op == "*" and (left == 0.0 or right == 0.0):
+            return 0.0
+        return NAC
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def _join(a: State, b: State) -> State:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    out: Dict[str, Value] = {}
+    for var in set(a) | set(b):
+        va, vb = a.get(var), b.get(var)
+        if va is None:
+            out[var] = vb  # undefined on one path: keep the other
+        elif vb is None:
+            out[var] = va
+        elif isinstance(va, float) and isinstance(vb, float) and va == vb:
+            out[var] = va
+        else:
+            out[var] = NAC
+    return _freeze(out)
+
+
+def _freeze(d: Dict[str, Value]) -> Mapping[str, Value]:
+    # Hashable, equality-comparable snapshot.
+    return dict(sorted(d.items(), key=lambda kv: kv[0]))
+
+
+def constant_propagation(cfg: CFG) -> ConstantPropagation:
+    """Run constant propagation; returns per-node variable valuations."""
+
+    def transfer(state: State, edge: CfgEdge) -> State:
+        if state is None:
+            return None
+        action = edge.action
+        if action is None or isinstance(action, Assume):
+            return state
+        out = dict(state)
+        if isinstance(action, Assign):
+            out[action.target] = _eval(action.expr, state)
+        elif isinstance(action, AssignInterval):
+            out[action.target] = (float(action.lo) if action.lo == action.hi else NAC)
+        elif isinstance(action, Havoc):
+            out[action.target] = NAC
+        return _freeze(out)
+
+    problem = DataflowProblem(
+        direction="forward",
+        init=_freeze({}),
+        bottom=None,
+        join=_join,
+        transfer=transfer,
+    )
+    return ConstantPropagation(solve_dataflow(cfg, problem))

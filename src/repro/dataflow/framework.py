@@ -1,0 +1,65 @@
+"""A generic iterative dataflow framework over the mini-language CFG.
+
+Problems are described by a :class:`DataflowProblem`: direction,
+lattice bottom, a join and per-edge transfer.  The solver is the
+standard round-robin worklist over frozen sets / tuples, sufficient for
+the bit-vector style problems shipped in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, List, TypeVar
+
+from ..frontend.cfg import CFG, CfgEdge
+
+T = TypeVar("T")
+
+
+@dataclass
+class DataflowProblem(Generic[T]):
+    """A monotone dataflow problem."""
+
+    direction: str  # 'forward' | 'backward'
+    init: T  # value at the boundary node
+    bottom: T  # identity of join
+    join: Callable[[T, T], T]
+    transfer: Callable[[T, CfgEdge], T]
+
+    def __post_init__(self):
+        if self.direction not in ("forward", "backward"):
+            raise ValueError("direction must be 'forward' or 'backward'")
+
+
+def solve_dataflow(cfg: CFG, problem: DataflowProblem[T]) -> Dict[int, T]:
+    """Iterate to the least fixpoint; returns the value at each node."""
+    forward = problem.direction == "forward"
+    boundary = cfg.entry if forward else cfg.exit
+    values: Dict[int, T] = {node: problem.bottom for node in range(cfg.n_nodes)}
+    values[boundary] = problem.init
+
+    if forward:
+        in_edges: Dict[int, List[CfgEdge]] = cfg.predecessors
+    else:
+        in_edges = cfg.successors
+
+    worklist = list(range(cfg.n_nodes))
+    pending = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        pending.discard(node)
+        if node == boundary:
+            continue
+        acc = problem.bottom
+        for edge in in_edges.get(node, []):
+            src = edge.src if forward else edge.dst
+            acc = problem.join(acc, problem.transfer(values[src], edge))
+        if acc != values[node]:
+            values[node] = acc
+            neighbours = (cfg.successors if forward else cfg.predecessors).get(node, [])
+            for edge in neighbours:
+                nxt = edge.dst if forward else edge.src
+                if nxt not in pending:
+                    pending.add(nxt)
+                    worklist.append(nxt)
+    return values

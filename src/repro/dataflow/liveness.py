@@ -1,0 +1,77 @@
+"""Backward liveness analysis: which variables may be read later."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..frontend.ast_nodes import (
+    AExpr, Assign, AssignInterval, Assume, BExpr, BinOp, BoolLit, BoolOp,
+    Cmp, Havoc, Neg, Not, Num, Var,
+)
+from ..frontend.cfg import CFG, CfgEdge
+from .framework import DataflowProblem, solve_dataflow
+
+
+def vars_of_aexpr(expr: AExpr) -> FrozenSet[str]:
+    """Variables read by an arithmetic expression."""
+    out = set()
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        if isinstance(e, Var):
+            out.add(e.name)
+        elif isinstance(e, BinOp):
+            stack.extend((e.left, e.right))
+        elif isinstance(e, Neg):
+            stack.append(e.operand)
+        elif not isinstance(e, Num):
+            raise TypeError(f"not an arithmetic expression: {e!r}")
+    return frozenset(out)
+
+
+def vars_of_bexpr(cond: BExpr) -> FrozenSet[str]:
+    """Variables read by a boolean expression."""
+    out: FrozenSet[str] = frozenset()
+    stack = [cond]
+    while stack:
+        b = stack.pop()
+        if isinstance(b, Cmp):
+            out |= vars_of_aexpr(b.left) | vars_of_aexpr(b.right)
+        elif isinstance(b, BoolOp):
+            stack.extend((b.left, b.right))
+        elif isinstance(b, Not):
+            stack.append(b.operand)
+        elif not isinstance(b, BoolLit):
+            raise TypeError(f"not a boolean expression: {b!r}")
+    return out
+
+
+def use_def(edge: CfgEdge) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """(used, defined) variable sets of one edge action."""
+    action = edge.action
+    if action is None:
+        return frozenset(), frozenset()
+    if isinstance(action, Assign):
+        return vars_of_aexpr(action.expr), frozenset({action.target})
+    if isinstance(action, (AssignInterval, Havoc)):
+        return frozenset(), frozenset({action.target})
+    if isinstance(action, Assume):
+        return vars_of_bexpr(action.cond), frozenset()
+    raise TypeError(f"unknown action {action!r}")
+
+
+def liveness(cfg: CFG) -> Dict[int, FrozenSet[str]]:
+    """Live variables at each node (backward may-analysis)."""
+
+    def transfer(live_out: FrozenSet[str], edge: CfgEdge) -> FrozenSet[str]:
+        used, defined = use_def(edge)
+        return (live_out - defined) | used
+
+    problem = DataflowProblem(
+        direction="backward",
+        init=frozenset(),
+        bottom=frozenset(),
+        join=lambda a, b: a | b,
+        transfer=transfer,
+    )
+    return solve_dataflow(cfg, problem)

@@ -1,0 +1,43 @@
+"""Forward reaching-definitions analysis.
+
+A *definition* is an edge that writes a variable (assignment, interval
+assignment or havoc), identified by its index in ``cfg.edges``.  The
+analysis computes, per node, the set of definitions that may reach it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..frontend.ast_nodes import Assign, AssignInterval, Havoc
+from ..frontend.cfg import CFG, CfgEdge
+from .framework import DataflowProblem, solve_dataflow
+
+
+def defined_var(edge: CfgEdge) -> Optional[str]:
+    """The variable written by an edge, if any."""
+    action = edge.action
+    if isinstance(action, (Assign, AssignInterval, Havoc)):
+        return action.target
+    return None
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, FrozenSet[Tuple[int, str]]]:
+    """Definitions reaching each node, as ``(edge_index, variable)``."""
+    edge_ids = {id(edge): i for i, edge in enumerate(cfg.edges)}
+
+    def transfer(defs: FrozenSet[Tuple[int, str]], edge: CfgEdge):
+        var = defined_var(edge)
+        if var is None:
+            return defs
+        killed = frozenset(d for d in defs if d[1] != var)
+        return killed | {(edge_ids[id(edge)], var)}
+
+    problem = DataflowProblem(
+        direction="forward",
+        init=frozenset(),
+        bottom=frozenset(),
+        join=lambda a, b: a | b,
+        transfer=transfer,
+    )
+    return solve_dataflow(cfg, problem)

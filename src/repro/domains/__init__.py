@@ -1,0 +1,20 @@
+"""Abstract-domain layer: the protocol the analyzer is generic over,
+plus a non-relational Interval (box) domain used as a cheap baseline
+and in examples."""
+
+from .domain import (DOMAINS, AbstractDomain, ConfiguredOctagonFactory,
+                     DomainFactory, get_domain)
+from .interval import Interval
+from .pentagon import Pentagon
+from .zone import Zone
+
+__all__ = [
+    "AbstractDomain",
+    "ConfiguredOctagonFactory",
+    "DomainFactory",
+    "DOMAINS",
+    "get_domain",
+    "Interval",
+    "Pentagon",
+    "Zone",
+]

@@ -1,0 +1,217 @@
+"""The Interval (box) abstract domain.
+
+A non-relational baseline implementing the same protocol as the
+octagons: each variable carries an independent ``[lo, hi]`` bound,
+stored in two NumPy vectors.  It is used by the examples to contrast
+precision (the octagon proves relational facts the box cannot), and by
+the analyzer substrate as the cheap domain for auxiliary passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bounds import INF
+from ..core.constraints import LinExpr, OctConstraint
+
+
+class Interval:
+    """A box: per-variable lower/upper bound vectors."""
+
+    __slots__ = ("n", "lo", "hi", "_bottom")
+
+    def __init__(self, n: int, lo: np.ndarray, hi: np.ndarray, *, bottom: bool = False):
+        self.n = n
+        self.lo = lo
+        self.hi = hi
+        self._bottom = bottom
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def top(cls, n: int) -> "Interval":
+        return cls(n, np.full(n, -INF), np.full(n, INF))
+
+    @classmethod
+    def bottom(cls, n: int) -> "Interval":
+        return cls(n, np.full(n, INF), np.full(n, -INF), bottom=True)
+
+    @classmethod
+    def from_box(cls, bounds: Sequence[Tuple[float, float]]) -> "Interval":
+        n = len(bounds)
+        lo = np.array([b[0] for b in bounds], dtype=np.float64)
+        hi = np.array([b[1] for b in bounds], dtype=np.float64)
+        if np.any(lo > hi):
+            return cls.bottom(n)
+        return cls(n, lo, hi)
+
+    def copy(self) -> "Interval":
+        return Interval(self.n, self.lo.copy(), self.hi.copy(), bottom=self._bottom)
+
+    def _normalised(self) -> "Interval":
+        if not self._bottom and self.n and bool(np.any(self.lo > self.hi)):
+            return Interval.bottom(self.n)
+        return self
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def is_bottom(self) -> bool:
+        return self._bottom or (self.n > 0 and bool(np.any(self.lo > self.hi)))
+
+    def is_top(self) -> bool:
+        if self.is_bottom():
+            return False
+        return bool(np.all(np.isneginf(self.lo)) and np.all(np.isposinf(self.hi)))
+
+    def is_leq(self, other: "Interval") -> bool:
+        if self.is_bottom():
+            return True
+        if other.is_bottom():
+            return False
+        return bool(np.all(self.lo >= other.lo) and np.all(self.hi <= other.hi))
+
+    def is_eq(self, other: "Interval") -> bool:
+        if self.is_bottom() or other.is_bottom():
+            return self.is_bottom() and other.is_bottom()
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    # no-op for protocol compatibility: boxes need no closure
+    def close(self) -> "Interval":
+        return self
+
+    # ------------------------------------------------------------------
+    # lattice
+    # ------------------------------------------------------------------
+    def meet(self, other: "Interval") -> "Interval":
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.n)
+        return Interval(self.n, np.maximum(self.lo, other.lo),
+                        np.minimum(self.hi, other.hi))._normalised()
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom():
+            return other.copy()
+        if other.is_bottom():
+            return self.copy()
+        return Interval(self.n, np.minimum(self.lo, other.lo),
+                        np.maximum(self.hi, other.hi))
+
+    def widening(self, other: "Interval") -> "Interval":
+        if self.is_bottom():
+            return other.copy()
+        if other.is_bottom():
+            return self.copy()
+        lo = np.where(other.lo >= self.lo, self.lo, -INF)
+        hi = np.where(other.hi <= self.hi, self.hi, INF)
+        return Interval(self.n, lo, hi)
+
+    def narrowing(self, other: "Interval") -> "Interval":
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.n)
+        lo = np.where(np.isneginf(self.lo), other.lo, self.lo)
+        hi = np.where(np.isposinf(self.hi), other.hi, self.hi)
+        return Interval(self.n, lo, hi)._normalised()
+
+    # ------------------------------------------------------------------
+    # transfer
+    # ------------------------------------------------------------------
+    def forget(self, v: int) -> "Interval":
+        if self.is_bottom():
+            return self.copy()
+        out = self.copy()
+        out.lo[v], out.hi[v] = -INF, INF
+        return out
+
+    def assign_const(self, v: int, c: float) -> "Interval":
+        if self.is_bottom():
+            return self.copy()
+        out = self.copy()
+        out.lo[v] = out.hi[v] = c
+        return out
+
+    def assign_interval(self, v: int, lo: float, hi: float) -> "Interval":
+        if lo > hi:
+            return Interval.bottom(self.n)
+        if self.is_bottom():
+            return self.copy()
+        out = self.copy()
+        out.lo[v], out.hi[v] = lo, hi
+        return out
+
+    def assign_var(self, v: int, w: int, *, coeff: int = 1, offset: float = 0.0) -> "Interval":
+        return self.assign_linexpr(v, LinExpr({w: float(coeff)}, offset))
+
+    def assign_linexpr(self, v: int, expr: LinExpr) -> "Interval":
+        if self.is_bottom():
+            return self.copy()
+        lo, hi = expr.interval(self.bounds)
+        out = self.copy()
+        out.lo[v], out.hi[v] = lo, hi
+        return out
+
+    def assume_linear(self, expr: LinExpr, *, strict: bool = False) -> "Interval":
+        """Meet with ``expr <= 0`` by bound propagation on each variable."""
+        if self.is_bottom():
+            return self.copy()
+        out = self.copy()
+        for v, c in expr.coeffs.items():
+            if c == 0.0:
+                continue
+            rest = LinExpr({u: cu for u, cu in expr.coeffs.items() if u != v},
+                           expr.const)
+            rlo, _ = rest.interval(self.bounds)
+            if rlo == -INF:
+                continue
+            # c*v <= -rest  =>  c*v <= -rlo.
+            limit = -rlo
+            if c > 0:
+                out.hi[v] = min(out.hi[v], limit / c)
+            else:
+                out.lo[v] = max(out.lo[v], limit / c)
+        if not expr.coeffs and expr.const > 0:
+            return Interval.bottom(self.n)
+        return out._normalised()
+
+    def meet_constraint(self, cons: OctConstraint) -> "Interval":
+        coeffs = {cons.i: float(cons.coeff_i)}
+        if cons.coeff_j != 0:
+            coeffs[cons.j] = coeffs.get(cons.j, 0.0) + float(cons.coeff_j)
+        return self.assume_linear(LinExpr(coeffs, -cons.bound))
+
+    def meet_constraints(self, constraints: Iterable[OctConstraint]) -> "Interval":
+        out = self
+        for cons in constraints:
+            out = out.meet_constraint(cons)
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def bounds(self, v: int) -> Tuple[float, float]:
+        if self.is_bottom():
+            return (INF, -INF)
+        return (float(self.lo[v]), float(self.hi[v]))
+
+    def bound_linexpr(self, expr: LinExpr) -> Tuple[float, float]:
+        if self.is_bottom():
+            return (INF, -INF)
+        return expr.interval(self.bounds)
+
+    def to_box(self) -> List[Tuple[float, float]]:
+        return [self.bounds(v) for v in range(self.n)]
+
+    def contains_point(self, values: Sequence[float], *, tol: float = 1e-9) -> bool:
+        if self.is_bottom():
+            return False
+        vals = np.asarray(values, dtype=np.float64)
+        return bool(np.all(vals >= self.lo - tol) and np.all(vals <= self.hi + tol))
+
+    def __repr__(self) -> str:
+        if self.is_bottom():
+            return f"Interval(n={self.n}, bottom)"
+        parts = ", ".join(f"v{v}:[{self.lo[v]:g},{self.hi[v]:g}]" for v in range(self.n))
+        return f"Interval({parts})"

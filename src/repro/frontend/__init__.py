@@ -1,0 +1,42 @@
+"""Mini imperative language front end.
+
+The analyzer substrate consumes programs in a small C-like language
+(assignments, ``if``/``while``, ``assume``/``assert``, ``havoc``,
+non-deterministic interval assignments).  This package provides the
+lexer, recursive-descent parser, AST, pretty printer and control-flow
+graph builder.
+"""
+
+from .ast_nodes import (
+    Assert,
+    Assign,
+    AssignInterval,
+    Assume,
+    BinOp,
+    Block,
+    BoolLit,
+    BoolOp,
+    Cmp,
+    Havoc,
+    If,
+    Neg,
+    Not,
+    Num,
+    Procedure,
+    Program,
+    Skip,
+    Var,
+    While,
+)
+from .cfg import CFG, CfgEdge, build_cfg
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_procedure, parse_program
+from .pretty import pretty
+
+__all__ = [
+    "Assert", "Assign", "AssignInterval", "Assume", "BinOp", "Block",
+    "BoolLit", "BoolOp", "CFG", "CfgEdge", "Cmp", "Havoc", "If", "LexError",
+    "Neg", "Not", "Num", "ParseError", "Procedure", "Program", "Skip",
+    "Var", "While", "build_cfg", "parse_procedure", "parse_program",
+    "pretty", "tokenize",
+]

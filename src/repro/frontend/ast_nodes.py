@@ -1,0 +1,223 @@
+"""AST of the mini imperative language.
+
+Arithmetic expressions are built from numbers, variables, unary minus
+and the binary operators ``+ - *`` (division by a non-zero constant is
+also accepted and folded by the parser).  Boolean expressions are
+comparisons combined with ``&&``, ``||`` and ``!``.
+
+Statements::
+
+    x = e;            deterministic assignment
+    x = [l, u];       non-deterministic choice from an interval
+    havoc(x);         completely unknown value
+    assume(b);        refine with a condition
+    assert(b);        verification obligation (does not refine)
+    if (b) {..} else {..}
+    while (b) {..}
+    skip;
+
+A :class:`Program` is a list of named :class:`Procedure` bodies, each
+analysed independently (mirroring how the paper's analyzers process one
+function/handler at a time, which is what makes the DBM size vary
+across closures -- Table 2's ``nmin``/``nmax``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# ----------------------------------------------------------------------
+# arithmetic expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # '+', '-', '*'
+    left: "AExpr"
+    right: "AExpr"
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: "AExpr"
+
+
+AExpr = Union[Num, Var, BinOp, Neg]
+
+
+# ----------------------------------------------------------------------
+# boolean expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Cmp:
+    op: str  # '<', '<=', '>', '>=', '==', '!='
+    left: AExpr
+    right: AExpr
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # '&&', '||'
+    left: "BExpr"
+    right: "BExpr"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "BExpr"
+
+
+BExpr = Union[BoolLit, Cmp, BoolOp, Not]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class Assign:
+    target: str
+    expr: AExpr
+
+
+@dataclass
+class AssignInterval:
+    target: str
+    lo: float
+    hi: float
+
+
+@dataclass
+class Havoc:
+    target: str
+
+
+@dataclass
+class Assume:
+    cond: BExpr
+
+
+@dataclass
+class Assert:
+    cond: BExpr
+    label: Optional[str] = None
+
+
+@dataclass
+class If:
+    cond: BExpr
+    then_body: "Block"
+    else_body: Optional["Block"] = None
+
+
+@dataclass
+class While:
+    cond: BExpr
+    body: "Block"
+
+
+@dataclass
+class Skip:
+    pass
+
+
+@dataclass
+class Block:
+    statements: List["Stmt"] = field(default_factory=list)
+
+
+Stmt = Union[Assign, AssignInterval, Havoc, Assume, Assert, If, While, Skip, Block]
+
+
+# ----------------------------------------------------------------------
+# programs
+# ----------------------------------------------------------------------
+@dataclass
+class Procedure:
+    name: str
+    body: Block
+    variables: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.variables:
+            self.variables = collect_variables(self.body)
+
+
+@dataclass
+class Program:
+    procedures: List[Procedure]
+
+    def procedure(self, name: str) -> Procedure:
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no procedure named {name!r}")
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def collect_variables(node) -> List[str]:
+    """All variable names in program order of first occurrence."""
+    seen: List[str] = []
+
+    def note(name: str) -> None:
+        if name not in seen:
+            seen.append(name)
+
+    def walk_a(e: AExpr) -> None:
+        if isinstance(e, Var):
+            note(e.name)
+        elif isinstance(e, BinOp):
+            walk_a(e.left)
+            walk_a(e.right)
+        elif isinstance(e, Neg):
+            walk_a(e.operand)
+
+    def walk_b(b: BExpr) -> None:
+        if isinstance(b, Cmp):
+            walk_a(b.left)
+            walk_a(b.right)
+        elif isinstance(b, BoolOp):
+            walk_b(b.left)
+            walk_b(b.right)
+        elif isinstance(b, Not):
+            walk_b(b.operand)
+
+    def walk_s(s: Stmt) -> None:
+        if isinstance(s, Assign):
+            note(s.target)
+            walk_a(s.expr)
+        elif isinstance(s, (AssignInterval, Havoc)):
+            note(s.target)
+        elif isinstance(s, (Assume, Assert)):
+            walk_b(s.cond)
+        elif isinstance(s, If):
+            walk_b(s.cond)
+            walk_s(s.then_body)
+            if s.else_body is not None:
+                walk_s(s.else_body)
+        elif isinstance(s, While):
+            walk_b(s.cond)
+            walk_s(s.body)
+        elif isinstance(s, Block):
+            for sub in s.statements:
+                walk_s(sub)
+
+    walk_s(node if isinstance(node, Block) else Block([node]))
+    return seen

@@ -1,0 +1,171 @@
+"""A concrete interpreter for the mini language.
+
+Executes a procedure with concrete (integer) values, resolving the
+non-deterministic constructs (``x = [l, u]``, ``havoc``) with a seeded
+random generator.  Three uses:
+
+* **soundness fuzzing** -- every completed concrete run must end inside
+  the abstract interpreter's exit invariant, and must never violate an
+  assertion the analyzer verified;
+* **counterexample confirmation** for failed assertion checks;
+* a reference semantics for documentation and examples.
+
+Runs are bounded (``max_steps``): an execution that exceeds the budget
+is reported as incomplete rather than silently truncated, since a
+truncated environment is *not* a real exit state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ast_nodes import (
+    AExpr, Assert, Assign, AssignInterval, Assume, BExpr, BinOp, Block,
+    BoolLit, BoolOp, Cmp, Havoc, If, Neg, Not, Num, Procedure, Skip, Var,
+    While,
+)
+
+#: Range used for unconstrained non-deterministic values (havoc).
+HAVOC_RANGE = 64
+
+
+class InfeasiblePath(Exception):
+    """Raised when an ``assume`` fails: this execution does not exist."""
+
+
+class StepBudgetExceeded(Exception):
+    """Raised when the execution exceeds its step budget."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one concrete execution."""
+
+    env: Dict[str, float]
+    assertion_failures: List[str] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.assertion_failures
+
+
+class Interpreter:
+    """Concrete executor over integer-valued environments."""
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 max_steps: int = 20_000):
+        self.rng = rng if rng is not None else random.Random(0)
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def eval_aexpr(self, expr: AExpr, env: Dict[str, float]) -> float:
+        if isinstance(expr, Num):
+            return float(expr.value)
+        if isinstance(expr, Var):
+            return env.setdefault(expr.name, self._fresh())
+        if isinstance(expr, Neg):
+            return -self.eval_aexpr(expr.operand, env)
+        if isinstance(expr, BinOp):
+            left = self.eval_aexpr(expr.left, env)
+            right = self.eval_aexpr(expr.right, env)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+        raise TypeError(f"cannot evaluate {expr!r}")
+
+    def eval_bexpr(self, cond: BExpr, env: Dict[str, float]) -> bool:
+        if isinstance(cond, BoolLit):
+            return cond.value
+        if isinstance(cond, Not):
+            return not self.eval_bexpr(cond.operand, env)
+        if isinstance(cond, BoolOp):
+            left = self.eval_bexpr(cond.left, env)
+            if cond.op == "&&":
+                return left and self.eval_bexpr(cond.right, env)
+            return left or self.eval_bexpr(cond.right, env)
+        if isinstance(cond, Cmp):
+            left = self.eval_aexpr(cond.left, env)
+            right = self.eval_aexpr(cond.right, env)
+            return {
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right,
+                "==": left == right, "!=": left != right,
+            }[cond.op]
+        raise TypeError(f"cannot evaluate {cond!r}")
+
+    def _fresh(self) -> float:
+        return float(self.rng.randint(-HAVOC_RANGE, HAVOC_RANGE))
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def run(self, proc: Procedure) -> RunResult:
+        """Execute one path through a procedure.
+
+        Raises :class:`InfeasiblePath` if an ``assume`` fails and
+        :class:`StepBudgetExceeded` if the budget runs out.
+        """
+        env: Dict[str, float] = {}
+        result = RunResult(env)
+        self._exec(proc.body, env, result)
+        return result
+
+    def _tick(self, result: RunResult) -> None:
+        result.steps += 1
+        if result.steps > self.max_steps:
+            raise StepBudgetExceeded()
+
+    def _exec(self, stmt, env: Dict[str, float], result: RunResult) -> None:
+        self._tick(result)
+        if isinstance(stmt, Block):
+            for sub in stmt.statements:
+                self._exec(sub, env, result)
+        elif isinstance(stmt, Assign):
+            env[stmt.target] = self.eval_aexpr(stmt.expr, env)
+        elif isinstance(stmt, AssignInterval):
+            lo, hi = int(stmt.lo), int(stmt.hi)
+            env[stmt.target] = float(self.rng.randint(lo, hi))
+        elif isinstance(stmt, Havoc):
+            env[stmt.target] = self._fresh()
+        elif isinstance(stmt, Assume):
+            if not self.eval_bexpr(stmt.cond, env):
+                raise InfeasiblePath()
+        elif isinstance(stmt, Assert):
+            if not self.eval_bexpr(stmt.cond, env):
+                from .pretty import pretty_bexpr
+                result.assertion_failures.append(pretty_bexpr(stmt.cond))
+        elif isinstance(stmt, If):
+            if self.eval_bexpr(stmt.cond, env):
+                self._exec(stmt.then_body, env, result)
+            elif stmt.else_body is not None:
+                self._exec(stmt.else_body, env, result)
+        elif isinstance(stmt, While):
+            while self.eval_bexpr(stmt.cond, env):
+                self._tick(result)
+                self._exec(stmt.body, env, result)
+        elif isinstance(stmt, Skip):
+            pass
+        else:
+            raise TypeError(f"cannot execute {stmt!r}")
+
+
+def sample_runs(proc: Procedure, *, tries: int = 50, seed: int = 0,
+                max_steps: int = 20_000) -> List[RunResult]:
+    """Collect completed concrete runs over random nondeterminism."""
+    out: List[RunResult] = []
+    rng = random.Random(seed)
+    for _ in range(tries):
+        interp = Interpreter(random.Random(rng.randrange(2 ** 30)), max_steps)
+        try:
+            out.append(interp.run(proc))
+        except (InfeasiblePath, StepBudgetExceeded):
+            continue
+    return out

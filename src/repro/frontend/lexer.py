@@ -1,0 +1,93 @@
+"""Lexer for the mini imperative language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {
+    "if", "else", "while", "assume", "assert", "havoc", "skip",
+    "true", "false", "proc",
+}
+
+TWO_CHAR = {"<=", ">=", "==", "!=", "&&", "||"}
+ONE_CHAR = set("+-*/%(){}[],;<>=!")
+
+
+class LexError(ValueError):
+    """Raised on malformed input, with line/column context."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'ident' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise ``source``; ``//`` and ``#`` start line comments."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, size = 0, len(source)
+    while i < size:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < size and source[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        if ch.isdigit() or (ch == "." and i + 1 < size and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < size and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            tokens.append(Token("num", text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < size and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        pair = source[i:i + 2]
+        if pair in TWO_CHAR:
+            tokens.append(Token("op", pair, line, start_col))
+            i += 2
+            col += 2
+            continue
+        if ch in ONE_CHAR:
+            tokens.append(Token("op", ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,287 @@
+"""Recursive-descent parser for the mini imperative language.
+
+Grammar (EBNF)::
+
+    program    ::= procedure* | block_items
+    procedure  ::= 'proc' IDENT '{' stmt* '}'
+    stmt       ::= IDENT '=' (aexpr | interval) ';'
+                 | 'havoc' '(' IDENT ')' ';'
+                 | 'assume' '(' bexpr ')' ';'
+                 | 'assert' '(' bexpr ')' ';'
+                 | 'if' '(' bexpr ')' block ('else' block)?
+                 | 'while' '(' bexpr ')' block
+                 | 'skip' ';'
+    interval   ::= '[' aexpr ',' aexpr ']'        (constant bounds)
+    block      ::= '{' stmt* '}'
+    bexpr      ::= bterm ('||' bterm)*
+    bterm      ::= bfactor ('&&' bfactor)*
+    bfactor    ::= '!' bfactor | 'true' | 'false'
+                 | '(' bexpr ')' | aexpr cmp aexpr
+    aexpr      ::= term (('+'|'-') term)*
+    term       ::= factor (('*'|'/'|'%') factor)*
+    factor     ::= NUM | IDENT | '-' factor | '(' aexpr ')'
+
+A source without ``proc`` headers is treated as a single procedure
+named ``main``.  Division is only accepted with a constant non-zero
+divisor and is folded into a multiplication by its reciprocal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    AExpr, Assert, Assign, AssignInterval, Assume, BExpr, BinOp, Block,
+    BoolLit, BoolOp, Cmp, Havoc, If, Neg, Not, Num, Procedure, Program,
+    Skip,
+    Var, While,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} at line {token.line}, column {token.col} "
+                         f"(got {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind in ("op", "kw")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(f"expected {text!r}", self.peek())
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise ParseError("expected identifier", tok)
+        self.advance()
+        return tok.text
+
+    # -- arithmetic ------------------------------------------------------
+    def parse_aexpr(self) -> AExpr:
+        node = self.parse_term()
+        while self.peek().text in ("+", "-") and self.peek().kind == "op":
+            op = self.advance().text
+            right = self.parse_term()
+            node = BinOp(op, node, right)
+        return node
+
+    def parse_term(self) -> AExpr:
+        node = self.parse_factor()
+        while self.peek().text in ("*", "/", "%") and self.peek().kind == "op":
+            op = self.advance().text
+            right = self.parse_factor()
+            if op == "/":
+                if not isinstance(right, Num) or right.value == 0:
+                    raise ParseError("division requires a non-zero constant divisor",
+                                     self.peek())
+                node = BinOp("*", node, Num(1.0 / right.value))
+            elif op == "%":
+                raise ParseError("modulo is not supported", self.peek())
+            else:
+                node = BinOp("*", node, right)
+        return node
+
+    def parse_factor(self) -> AExpr:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            return Num(float(tok.text))
+        if tok.kind == "ident":
+            self.advance()
+            return Var(tok.text)
+        if self.accept("-"):
+            return Neg(self.parse_factor())
+        if self.accept("("):
+            node = self.parse_aexpr()
+            self.expect(")")
+            return node
+        raise ParseError("expected expression", tok)
+
+    # -- boolean ----------------------------------------------------------
+    def parse_bexpr(self) -> BExpr:
+        node = self.parse_bterm()
+        while self.check("||"):
+            self.advance()
+            node = BoolOp("||", node, self.parse_bterm())
+        return node
+
+    def parse_bterm(self) -> BExpr:
+        node = self.parse_bfactor()
+        while self.check("&&"):
+            self.advance()
+            node = BoolOp("&&", node, self.parse_bfactor())
+        return node
+
+    def parse_bfactor(self) -> BExpr:
+        if self.accept("!"):
+            return Not(self.parse_bfactor())
+        if self.accept("true"):
+            return BoolLit(True)
+        if self.accept("false"):
+            return BoolLit(False)
+        # Parenthesis ambiguity: '(' may open a boolean or arithmetic
+        # grouping.  Try boolean first, then arithmetic comparison.
+        if self.check("("):
+            saved = self.pos
+            self.advance()
+            try:
+                inner = self.parse_bexpr()
+                self.expect(")")
+                return inner
+            except ParseError:
+                self.pos = saved
+        left = self.parse_aexpr()
+        tok = self.peek()
+        if tok.text not in ("<", "<=", ">", ">=", "==", "!="):
+            raise ParseError("expected comparison operator", tok)
+        self.advance()
+        right = self.parse_aexpr()
+        return Cmp(tok.text, left, right)
+
+    # -- statements -------------------------------------------------------
+    def parse_block(self) -> Block:
+        self.expect("{")
+        statements = []
+        while not self.check("}"):
+            statements.append(self.parse_stmt())
+        self.expect("}")
+        return Block(statements)
+
+    def parse_stmt(self):
+        tok = self.peek()
+        if self.accept("skip"):
+            self.expect(";")
+            return Skip()
+        if self.accept("havoc"):
+            self.expect("(")
+            name = self.expect_ident()
+            self.expect(")")
+            self.expect(";")
+            return Havoc(name)
+        if self.accept("assume"):
+            self.expect("(")
+            cond = self.parse_bexpr()
+            self.expect(")")
+            self.expect(";")
+            return Assume(cond)
+        if self.accept("assert"):
+            self.expect("(")
+            cond = self.parse_bexpr()
+            self.expect(")")
+            self.expect(";")
+            return Assert(cond)
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_bexpr()
+            self.expect(")")
+            then_body = self.parse_block()
+            else_body = None
+            if self.accept("else"):
+                if self.check("if"):  # else-if chain: nest the If
+                    else_body = Block([self.parse_stmt()])
+                else:
+                    else_body = self.parse_block()
+            return If(cond, then_body, else_body)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_bexpr()
+            self.expect(")")
+            return While(cond, self.parse_block())
+        if tok.kind == "ident":
+            name = self.expect_ident()
+            self.expect("=")
+            if self.check("["):
+                self.advance()
+                lo = self._const_aexpr()
+                self.expect(",")
+                hi = self._const_aexpr()
+                self.expect("]")
+                self.expect(";")
+                return AssignInterval(name, lo, hi)
+            expr = self.parse_aexpr()
+            self.expect(";")
+            return Assign(name, expr)
+        raise ParseError("expected statement", tok)
+
+    def _const_aexpr(self) -> float:
+        expr = self.parse_aexpr()
+        value = _fold_const(expr)
+        if value is None:
+            raise ParseError("interval bounds must be constants", self.peek())
+        return value
+
+    # -- programs ----------------------------------------------------------
+    def parse_program(self) -> Program:
+        procedures = []
+        if self.check("proc"):
+            while self.accept("proc"):
+                name = self.expect_ident()
+                body = self.parse_block()
+                procedures.append(Procedure(name, body))
+            if self.peek().kind != "eof":
+                raise ParseError("expected 'proc' or end of input", self.peek())
+            return Program(procedures)
+        statements = []
+        while self.peek().kind != "eof":
+            statements.append(self.parse_stmt())
+        return Program([Procedure("main", Block(statements))])
+
+
+def _fold_const(expr: AExpr) -> Optional[float]:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Neg):
+        inner = _fold_const(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, BinOp):
+        left, right = _fold_const(expr.left), _fold_const(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+    return None
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full (possibly multi-procedure) program."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_procedure(source: str, name: str = "main") -> Procedure:
+    """Parse a single-procedure source into a named Procedure."""
+    program = parse_program(source)
+    if len(program.procedures) != 1:
+        raise ValueError("parse_procedure expects a single-procedure source")
+    proc = program.procedures[0]
+    proc.name = name
+    return proc

@@ -1,0 +1,86 @@
+"""Pretty printer for the mini language (round-trips through the parser)."""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AExpr, Assert, Assign, AssignInterval, Assume, BExpr, BinOp, Block,
+    BoolLit, BoolOp, Cmp, Havoc, If, Neg, Not, Num, Procedure, Program,
+    Skip, Stmt, Var, While,
+)
+
+
+def _num(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def pretty_aexpr(expr: AExpr) -> str:
+    if isinstance(expr, Num):
+        return _num(expr.value) if expr.value >= 0 else f"(-{_num(-expr.value)})"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Neg):
+        return f"(-{pretty_aexpr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        return f"({pretty_aexpr(expr.left)} {expr.op} {pretty_aexpr(expr.right)})"
+    raise TypeError(f"not an arithmetic expression: {expr!r}")
+
+
+def pretty_bexpr(expr: BExpr) -> str:
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Cmp):
+        return f"{pretty_aexpr(expr.left)} {expr.op} {pretty_aexpr(expr.right)}"
+    if isinstance(expr, BoolOp):
+        return f"({pretty_bexpr(expr.left)}) {expr.op} ({pretty_bexpr(expr.right)})"
+    if isinstance(expr, Not):
+        return f"!({pretty_bexpr(expr.operand)})"
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def pretty_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.target} = {pretty_aexpr(stmt.expr)};"
+    if isinstance(stmt, AssignInterval):
+        return f"{pad}{stmt.target} = [{_num(stmt.lo)}, {_num(stmt.hi)}];"
+    if isinstance(stmt, Havoc):
+        return f"{pad}havoc({stmt.target});"
+    if isinstance(stmt, Assume):
+        return f"{pad}assume({pretty_bexpr(stmt.cond)});"
+    if isinstance(stmt, Assert):
+        return f"{pad}assert({pretty_bexpr(stmt.cond)});"
+    if isinstance(stmt, Skip):
+        return f"{pad}skip;"
+    if isinstance(stmt, If):
+        out = [f"{pad}if ({pretty_bexpr(stmt.cond)}) {{"]
+        out.extend(pretty_stmt(s, indent + 1) for s in stmt.then_body.statements)
+        if stmt.else_body is not None:
+            out.append(f"{pad}}} else {{")
+            out.extend(pretty_stmt(s, indent + 1) for s in stmt.else_body.statements)
+        out.append(f"{pad}}}")
+        return "\n".join(out)
+    if isinstance(stmt, While):
+        out = [f"{pad}while ({pretty_bexpr(stmt.cond)}) {{"]
+        out.extend(pretty_stmt(s, indent + 1) for s in stmt.body.statements)
+        out.append(f"{pad}}}")
+        return "\n".join(out)
+    if isinstance(stmt, Block):
+        return "\n".join(pretty_stmt(s, indent) for s in stmt.statements)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def pretty(node) -> str:
+    """Render a Program / Procedure / statement / expression to source."""
+    if isinstance(node, Program):
+        return "\n\n".join(pretty(proc) for proc in node.procedures)
+    if isinstance(node, Procedure):
+        body = "\n".join(pretty_stmt(s, 1) for s in node.body.statements)
+        return f"proc {node.name} {{\n{body}\n}}"
+    if isinstance(node, (Assign, AssignInterval, Havoc, Assume, Assert,
+                         If, While, Skip, Block)):
+        return pretty_stmt(node)
+    if isinstance(node, (BoolLit, Cmp, BoolOp, Not)):
+        return pretty_bexpr(node)
+    return pretty_aexpr(node)

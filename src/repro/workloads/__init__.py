@@ -1,0 +1,33 @@
+"""Workload suite reproducing the paper's 17 benchmarks.
+
+Real benchmark programs (CPAchecker/TouchBoost/DPS/DIZY inputs) are not
+available; per the reproduction's substitution rule, each benchmark is
+regenerated as a seeded mini-language program whose *octagon workload
+characteristics* follow the published per-benchmark statistics of
+Table 2 (DBM sizes, closure counts, analyzer family behaviour), scaled
+to interpreter-feasible sizes.  See DESIGN.md and EXPERIMENTS.md.
+"""
+
+from .programs import (
+    fig2_program,
+    gen_cpa_like,
+    gen_dizy_like,
+    gen_dps_like,
+    gen_tb_like,
+)
+from .suite import BENCHMARKS, Benchmark, get_benchmark, load_suite
+from .analyzers import WorkloadRun, run_workload
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "WorkloadRun",
+    "fig2_program",
+    "gen_cpa_like",
+    "gen_dizy_like",
+    "gen_dps_like",
+    "gen_tb_like",
+    "get_benchmark",
+    "load_suite",
+    "run_workload",
+]

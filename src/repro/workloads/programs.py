@@ -1,0 +1,310 @@
+"""Seeded program generators, one per analyzer family in the paper.
+
+Each generator emits mini-language source whose octagon-operation
+profile matches how that analyzer family exercised APRON:
+
+* **CPA-like** (CPAchecker verification tasks): one or two procedures
+  with a fixed, fully interrelated variable set -- state-machine loops
+  and branch ladders over counters.  DBMs stay mostly dense; ``nmin``
+  is close to ``nmax`` (Table 2: Prob6/s3_clnt rows).
+* **TB-like** (TouchBoost event-driven apps): one large procedure in
+  which an outer event loop dispatches over handlers, each handler
+  touching only its own variable group plus a couple of globals.  The
+  variable set decomposes into independent components, and widening on
+  the event loop drives the DBM from dense to sparse midway -- the
+  Fig. 7 profile.
+* **DPS-like** (Java numerical kernels): many procedures of widely
+  varying size (triangular loop nests with index arithmetic), giving a
+  wide ``nmin``..``nmax`` spread (Table 2: crypt 9..237).
+* **DIZY-like** (semantic differencing): many small procedures, each a
+  pair of program variants analysed together with branch-heavy control
+  flow; tiny DBMs, closure counts dominated by joins.
+
+All randomness is seeded -- a benchmark's workload is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def fig2_program() -> str:
+    """The paper's running example (Figure 2)."""
+    return """
+    x = 1;
+    y = x;
+    while (x <= m) {
+      x = x + 1;
+      y = y + x;
+    }
+    """
+
+
+# ----------------------------------------------------------------------
+# small building blocks
+# ----------------------------------------------------------------------
+def _affine_rhs(rng: random.Random, variables: List[str], target: str) -> str:
+    """A random octagon-friendly right-hand side."""
+    kind = rng.random()
+    if kind < 0.25:
+        return str(rng.randint(-10, 10))
+    other = rng.choice(variables)
+    offset = rng.randint(-5, 5)
+    if kind < 0.6:
+        return f"{other} + {offset}" if offset >= 0 else f"{other} - {-offset}"
+    if kind < 0.8:
+        return f"-{other} + {rng.randint(0, 8)}"
+    third = rng.choice(variables)
+    return f"{other} + {third}"  # general linear: interval-linearised
+
+
+def _assign(rng: random.Random, variables: List[str], indent: str) -> str:
+    target = rng.choice(variables)
+    if rng.random() < 0.08:
+        lo = rng.randint(-20, 0)
+        return f"{indent}{target} = [{lo}, {lo + rng.randint(0, 40)}];"
+    return f"{indent}{target} = {_affine_rhs(rng, variables, target)};"
+
+
+def _guard(rng: random.Random, variables: List[str]) -> str:
+    a = rng.choice(variables)
+    if rng.random() < 0.5:
+        return f"{a} <= {rng.randint(0, 60)}"
+    b = rng.choice(variables)
+    op = rng.choice(["<=", "<", ">=", ">"])
+    return f"{a} {op} {b}"
+
+
+def _counter_loop(rng: random.Random, variables: List[str], counter: str,
+                  bound: int, body_lines: List[str], indent: str) -> List[str]:
+    out = [f"{indent}{counter} = 0;",
+           f"{indent}while ({counter} < {bound}) {{"]
+    out.extend(body_lines)
+    out.append(f"{indent}  {counter} = {counter} + 1;")
+    out.append(f"{indent}}}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# CPA-like: verification tasks, dense fixed-size DBMs
+# ----------------------------------------------------------------------
+def gen_cpa_like(seed: int, n_vars: int = 16, n_loops: int = 3,
+                 stmts_per_loop: int = 10, n_procs: int = 1) -> str:
+    """A CPAchecker-style verification task."""
+    rng = random.Random(seed)
+    procs = []
+    for p in range(n_procs):
+        variables = [f"x{p}_{i}" for i in range(n_vars)]
+        lines = [f"proc cpa_{p} {{"]
+        # Initialisation chains relate all variables (dense DBMs).
+        lines.append(f"  {variables[0]} = [0, 4];")
+        for prev, cur in zip(variables, variables[1:]):
+            delta = rng.randint(0, 3)
+            lines.append(f"  {cur} = {prev} + {delta};")
+        state, limit = variables[0], variables[-1]
+        for loop in range(n_loops):
+            body = []
+            for _ in range(stmts_per_loop):
+                if rng.random() < 0.3:
+                    cond = _guard(rng, variables)
+                    body.append(f"    if ({cond}) {{")
+                    body.append(_assign(rng, variables, "      "))
+                    body.append("    } else {")
+                    body.append(_assign(rng, variables, "      "))
+                    body.append("    }")
+                else:
+                    body.append(_assign(rng, variables, "    "))
+            counter = variables[1 + loop % (n_vars - 1)]
+            lines.extend(_counter_loop(rng, variables, counter,
+                                       rng.randint(8, 40), body, "  "))
+        lines.append(f"  assert({state} >= -1000);")
+        lines.append("}")
+        procs.append("\n".join(lines))
+    return "\n\n".join(procs)
+
+
+# ----------------------------------------------------------------------
+# TB-like: event-driven, decomposable variable groups
+# ----------------------------------------------------------------------
+def _tb_handler_assign(rng: random.Random, group: List[str], indent: str) -> str:
+    """A handler statement that keeps *relative* intra-group constraints
+    stable while making the *absolute* bounds drift in both directions.
+
+    This reproduces the decomposition profile of event-driven apps
+    (paper Fig. 7): widening erases the unary bounds (the state drifts
+    up and down across events), after which the strengthening step no
+    longer relates variables across handlers, and the octagon
+    decomposes into one component per handler group.
+    """
+    target = rng.choice(group)
+    roll = rng.random()
+    if roll < 0.45:  # relational: target = other +- c (stable relation)
+        other = rng.choice(group)
+        delta = rng.randint(-4, 4)
+        sign = "+" if delta >= 0 else "-"
+        return f"{indent}{target} = {other} {sign} {abs(delta)};"
+    if roll < 0.85:  # bidirectional drift: bounds widen away
+        delta = rng.randint(1, 3)
+        sign = rng.choice(["+", "-"])
+        return f"{indent}{target} = {target} {sign} {delta};"
+    if roll < 0.95:  # negation (octagonal, bound-flipping)
+        other = rng.choice(group)
+        return f"{indent}{target} = -{other} + {rng.randint(0, 4)};"
+    return f"{indent}havoc({target});"
+
+
+def _tb_event_app(rng: random.Random, name: str, n_groups: int,
+                  group_size: int, n_globals: int, handler_stmts: int,
+                  event_bound: int, n_phases: int) -> str:
+    """One TouchBoost-style event-driven app (one procedure).
+
+    Several sequential event-loop *phases* drive the Fig. 7 profile:
+    early phases see densely initialised handler state; each loop's
+    widening erases the drifting bounds, so later closures run on
+    sparser, well-decomposed DBMs.
+    """
+    globals_ = [f"g{i}" for i in range(n_globals)]
+    groups = [[f"h{g}_{i}" for i in range(group_size)] for g in range(n_groups)]
+    lines = [f"proc {name} {{"]
+    for g in globals_:
+        lines.append(f"  {g} = 0;")
+    # Handler-local state: initialised within the group only, so the
+    # octagon decomposes into one component per handler.
+    for group in groups:
+        lines.append(f"  {group[0]} = [0, 2];")
+        for prev, cur in zip(group, group[1:]):
+            lines.append(f"  {cur} = {prev} + {rng.randint(0, 2)};")
+    for phase in range(n_phases):
+        # Event loops run until the environment stops them: the guard is
+        # a havoced flag, as in real event-driven apps.  (A counter
+        # guard would keep a stable unary bound alive, and bounded
+        # variables are all mutually related under strong closure --
+        # decomposition would never materialise.)
+        running = f"run{phase}"
+        lines.append(f"  {running} = 1;")
+        lines.append(f"  while ({running} >= 1) {{")
+        lines.append("    sel = [0, %d];" % (n_groups - 1))
+        for g, group in enumerate(groups):
+            kw = "if" if g == 0 else "} else if"
+            lines.append(f"    {kw} (sel == {g}) {{")
+            # A guaranteed bidirectional random-walk step on the group
+            # anchor, then the whole group state re-derived from it.
+            # Every group variable drifts with the anchor, so all the
+            # *absolute* bounds widen away while the *relative*
+            # intra-group constraints stay stable -- which is what lets
+            # the octagon decompose (bounded variables are all mutually
+            # related under strong closure).
+            lines.append(f"      d{g} = [{-rng.randint(1, 3)}, {rng.randint(1, 3)}];")
+            lines.append(f"      {group[0]} = {group[0]} + d{g};")
+            for prev, cur in zip(group, group[1:]):
+                delta = rng.randint(-3, 3)
+                sign = "+" if delta >= 0 else "-"
+                lines.append(f"      {cur} = {prev} {sign} {abs(delta)};")
+            for _ in range(handler_stmts):
+                lines.append(_tb_handler_assign(rng, group, "      "))
+            # A guarded branch: more joins per event, as real
+            # TouchBoost handlers produce.
+            counter = group[0]
+            lines.append(f"      if ({counter} <= 40) {{")
+            lines.append(_tb_handler_assign(rng, group, "        "))
+            lines.append("      }")
+        lines.append("    } else { skip; }")
+        lines.append(f"    havoc({running});")
+        lines.append("  }")
+    lines.append(f"  assert({globals_[0]} >= 0);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def gen_tb_like(seed: int, n_groups: int = 6, group_size: int = 6,
+                n_globals: int = 2, handler_stmts: int = 6,
+                event_bound: int = 20, n_phases: int = 3,
+                n_handlers: int = 1, size_spread: float = 0.0) -> str:
+    """A TouchBoost-style event-driven application.
+
+    ``n_handlers`` > 1 emits several apps of varying size (scaled by
+    ``size_spread``), reproducing the wide nmin..nmax range of the
+    blwd/eeorzcap rows in Table 2.
+    """
+    rng = random.Random(seed)
+    apps = []
+    for h in range(n_handlers):
+        scale = 1.0 - size_spread * (h / max(n_handlers - 1, 1))
+        groups = max(1, round(n_groups * scale))
+        gsize = max(2, round(group_size * scale))
+        apps.append(_tb_event_app(rng, f"tb_app_{h}", groups, gsize,
+                                  n_globals, handler_stmts, event_bound,
+                                  n_phases))
+    return "\n\n".join(apps)
+
+
+# ----------------------------------------------------------------------
+# DPS-like: numeric kernels, widely varying procedure sizes
+# ----------------------------------------------------------------------
+def gen_dps_like(seed: int, proc_sizes: List[int] = (4, 8, 16, 28),
+                 loops_per_proc: int = 2) -> str:
+    """DPS-style numeric kernels (one procedure per method analysed)."""
+    rng = random.Random(seed)
+    procs = []
+    for p, size in enumerate(proc_sizes):
+        variables = [f"k{p}_{i}" for i in range(size)]
+        lines = [f"proc dps_{p} {{"]
+        lines.append(f"  {variables[0]} = 0;")
+        for prev, cur in zip(variables, variables[1:]):
+            lines.append(f"  {cur} = {prev} + {rng.randint(0, 2)};")
+        i_var, j_var = variables[0], variables[min(1, size - 1)]
+        n_bound = rng.randint(10, 50)
+        # Triangular nest: while (i < n) { j = i; while (j < n) ... }
+        inner_body = []
+        for _ in range(3):
+            inner_body.append(_assign(rng, variables, "      "))
+        body = [f"    {j_var} = {i_var};",
+                f"    while ({j_var} < {n_bound}) {{"]
+        body.extend(inner_body)
+        body.append(f"      {j_var} = {j_var} + 1;")
+        body.append("    }")
+        lines.extend(_counter_loop(rng, variables, i_var, n_bound, body, "  "))
+        for _ in range(loops_per_proc - 1):
+            extra = [_assign(rng, variables, "    ") for _ in range(4)]
+            counter = rng.choice(variables[2:] or variables)
+            lines.extend(_counter_loop(rng, variables, counter,
+                                       rng.randint(8, 30), extra, "  "))
+        lines.append(f"  assert({i_var} >= 0);")
+        lines.append("}")
+        procs.append("\n".join(lines))
+    return "\n\n".join(procs)
+
+
+# ----------------------------------------------------------------------
+# DIZY-like: many small branch-heavy procedures
+# ----------------------------------------------------------------------
+def gen_dizy_like(seed: int, n_procs: int = 8, max_vars: int = 10,
+                  branches: int = 5) -> str:
+    """DIZY-style semantic-difference checks (pairs of small variants)."""
+    rng = random.Random(seed)
+    procs = []
+    for p in range(n_procs):
+        size = rng.randint(2, max_vars)
+        variables = [f"d{p}_{i}" for i in range(size)]
+        lines = [f"proc dizy_{p} {{"]
+        lines.append(f"  {variables[0]} = [0, 8];")
+        for prev, cur in zip(variables, variables[1:]):
+            lines.append(f"  {cur} = {prev};")
+        # The 'patch': a ladder of branches with small divergences,
+        # followed by a short loop so closures and joins both occur.
+        for _ in range(branches):
+            cond = _guard(rng, variables)
+            lines.append(f"  if ({cond}) {{")
+            lines.append(_assign(rng, variables, "    "))
+            lines.append("  } else {")
+            lines.append(_assign(rng, variables, "    "))
+            lines.append("  }")
+        counter = variables[0]
+        body = [_assign(rng, variables, "    ")]
+        lines.extend(_counter_loop(rng, variables, counter,
+                                   rng.randint(4, 12), body, "  "))
+        lines.append(f"  assert({variables[0]} >= 0);")
+        lines.append("}")
+        procs.append("\n".join(lines))
+    return "\n\n".join(procs)

@@ -1,0 +1,151 @@
+"""The paper's 17-benchmark suite (Table 2 / Table 3 registry).
+
+Each entry records the statistics the paper published for the original
+benchmark -- closure DBM sizes (``nmin``/``nmax``), closure count,
+octagon-analysis speedup (Fig. 8), end-to-end times and the octagon
+fraction (Table 3) -- together with a seeded generator that regenerates
+a workload with the same analyzer-family profile at an
+interpreter-feasible scale.
+
+Scaling: the original workloads run DBMs up to n=237 through thousands
+of closures; a pure-Python scalar baseline (our APRON stand-in) needs
+seconds *per* cubic closure at that size.  Every entry therefore
+carries a ``scale`` used by its generator; the benchmark harness
+reports paper-vs-measured side by side (EXPERIMENTS.md).  Set the
+environment variable ``REPRO_BENCH_SCALE`` to ``small`` (CI), ``paper``
+(default) or ``large`` to move the knob.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .programs import gen_cpa_like, gen_dizy_like, gen_dps_like, gen_tb_like
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Numbers published in the paper for the original benchmark."""
+
+    nmin: int
+    nmax: int
+    closures: int
+    oct_speedup: float  # Fig. 8: octagon-analysis speedup
+    apron_total_s: float  # Table 3: end-to-end APRON time
+    apron_pct_oct: float  # Table 3: % time in octagons under APRON
+    opt_total_s: float  # Table 3: end-to-end OptOctagon time
+    opt_pct_oct: float  # Table 3: % time in octagons under OptOctagon
+    program_speedup: float  # Table 3: end-to-end speedup
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One row of the suite."""
+
+    name: str
+    analyzer: str  # CPA | TB | DPS | DIZY
+    paper: PaperStats
+    source_builder: Callable[[str], str]  # scale -> program source
+
+    def source(self, scale: Optional[str] = None) -> str:
+        if scale is None:
+            scale = os.environ.get("REPRO_BENCH_SCALE", "paper")
+        if scale not in ("small", "paper", "large"):
+            raise ValueError(f"unknown scale {scale!r}")
+        return self.source_builder(scale)
+
+
+def _cpa(name: str, seed: int, nvars: Dict[str, int], loops: Dict[str, int]):
+    def build(scale: str) -> str:
+        return gen_cpa_like(seed, n_vars=nvars[scale], n_loops=loops[scale],
+                            stmts_per_loop=8)
+    return build
+
+
+def _tb(seed: int, groups: Dict[str, int], gsize: Dict[str, int],
+        handlers: int = 1, spread: float = 0.0, phases: int = 2):
+    def build(scale: str) -> str:
+        return gen_tb_like(seed, n_groups=groups[scale], group_size=gsize[scale],
+                           n_handlers=handlers, size_spread=spread,
+                           n_phases=phases)
+    return build
+
+
+def _dps(seed: int, sizes: Dict[str, List[int]]):
+    def build(scale: str) -> str:
+        return gen_dps_like(seed, proc_sizes=sizes[scale])
+    return build
+
+
+def _dizy(seed: int, procs: Dict[str, int], mv: Dict[str, int]):
+    def build(scale: str) -> str:
+        return gen_dizy_like(seed, n_procs=procs[scale], max_vars=mv[scale])
+    return build
+
+
+def _s(small, paper, large):
+    return {"small": small, "paper": paper, "large": large}
+
+
+#: The 17 benchmarks of the paper's evaluation (Tables 2 and 3).
+BENCHMARKS: List[Benchmark] = [
+    # -- CPAchecker ------------------------------------------------------
+    Benchmark("Prob6_00_f", "CPA", PaperStats(44, 58, 4813, 9.3, 29.9, 79.4, 11.2, 38.0, 2.7),
+              _cpa("Prob6_00_f", 1101, _s(8, 18, 28), _s(2, 3, 4))),
+    Benchmark("Prob6_30_t", "CPA", PaperStats(44, 58, 22170, 11.0, 97.5, 88.9, 26.7, 54.5, 3.7),
+              _cpa("Prob6_30_t", 1102, _s(8, 18, 28), _s(2, 4, 5))),
+    Benchmark("s3_clnt_2_f", "CPA", PaperStats(72, 72, 708, 60.0, 7.2, 76.4, 1.7, 3.6, 4.2),
+              _cpa("s3_clnt_2_f", 1103, _s(10, 24, 36), _s(2, 3, 4))),
+    Benchmark("s3_clnt_3_t", "CPA", PaperStats(79, 79, 715, 115.0, 9.0, 80.8, 1.7, 3.7, 5.3),
+              _cpa("s3_clnt_3_t", 1104, _s(10, 26, 40), _s(2, 3, 4))),
+    # -- TouchBoost ------------------------------------------------------
+    Benchmark("gwsfmlau", "TB", PaperStats(166, 186, 837, 30.0, 83.5, 96.3, 8.9, 65.2, 9.4),
+              _tb(1201, _s(3, 6, 9), _s(3, 6, 8), phases=3)),
+    Benchmark("blwd", "TB", PaperStats(5, 50, 24170, 12.0, 79.1, 80.4, 16.0, 5.0, 4.9),
+              _tb(1202, _s(2, 4, 6), _s(2, 5, 7), handlers=4, spread=0.8,
+                  phases=3)),
+    Benchmark("eeorzcap", "TB", PaperStats(7, 93, 5398, 20.0, 89.1, 92.6, 11.6, 46.6, 7.7),
+              _tb(1203, _s(3, 5, 8), _s(2, 5, 8), handlers=3, spread=0.85,
+                  phases=2)),
+    Benchmark("jwgqbjzs", "TB", PaperStats(187, 190, 1884, 70.0, 266.0, 98.5, 14.2, 69.7, 18.7),
+              _tb(1204, _s(3, 7, 10), _s(3, 6, 8), phases=4)),
+    # -- DPS -------------------------------------------------------------
+    Benchmark("crypt", "DPS", PaperStats(9, 237, 861, 146.0, 147.0, 77.8, 34.7, 2.0, 4.2),
+              _dps(1301, _s([3, 6], [4, 8, 16, 30], [4, 10, 24, 44]))),
+    Benchmark("moldyn", "DPS", PaperStats(9, 67, 5365, 15.0, 31.9, 17.4, 27.0, 2.0, 1.2),
+              _dps(1302, _s([3, 5], [4, 8, 14, 22], [5, 12, 20, 30]))),
+    Benchmark("lufact", "DPS", PaperStats(12, 31, 142, 8.0, 20.0, 0.3, 19.2, 0.06, 1.0),
+              _dps(1303, _s([3, 4], [6, 10, 16], [8, 14, 22]))),
+    Benchmark("sor", "DPS", PaperStats(16, 54, 70, 7.0, 19.2, 0.6, 19.3, 0.1, 1.0),
+              _dps(1304, _s([3, 5], [6, 10, 18], [8, 14, 24]))),
+    Benchmark("series", "DPS", PaperStats(8, 21, 37, 2.7, 19.7, 0.09, 19.4, 0.03, 1.0),
+              _dps(1305, _s([3], [6, 14], [8, 18]))),
+    Benchmark("matmult", "DPS", PaperStats(8, 24, 10, 2.7, 19.6, 0.03, 19.4, 0.01, 1.0),
+              _dps(1306, _s([3], [6, 15], [8, 20]))),
+    # -- DIZY ------------------------------------------------------------
+    Benchmark("linux_full", "DIZY", PaperStats(1, 78, 15900, 6.0, 1681.0, 27.5, 1244.0, 2.9, 1.4),
+              _dizy(1401, _s(4, 12, 20), _s(6, 14, 20))),
+    Benchmark("seq", "DIZY", PaperStats(1, 35, 11216, 5.0, 155.0, 11.6, 129.0, 3.4, 1.2),
+              _dizy(1402, _s(4, 10, 16), _s(4, 10, 14))),
+    Benchmark("firefox", "DIZY", PaperStats(1, 24, 1061, 4.0, 6.0, 13.9, 5.0, 4.9, 1.2),
+              _dizy(1403, _s(3, 8, 12), _s(4, 12, 14))),
+]
+
+_BY_NAME = {b.name: b for b in BENCHMARKS}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"available: {sorted(_BY_NAME)}") from None
+
+
+def load_suite(analyzer: Optional[str] = None) -> List[Benchmark]:
+    """All benchmarks, optionally filtered by analyzer family."""
+    if analyzer is None:
+        return list(BENCHMARKS)
+    return [b for b in BENCHMARKS if b.analyzer == analyzer]

@@ -1,0 +1,79 @@
+"""Shared hypothesis strategies and helpers for DBM-level tests.
+
+Central place for generating random coherent DBMs (optionally with a
+block structure so independent components exist), plus the sampling
+helpers used by soundness tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.densemat import new_top
+
+
+def make_coherent_dbm(n: int, entries: Sequence, *, blocks: Optional[List[List[int]]] = None) -> np.ndarray:
+    """Build a coherent DBM from (i, j, c) triples (block-restricted)."""
+    m = new_top(n)
+    if blocks is not None:
+        allowed = [np.array([2 * v + s for v in block for s in (0, 1)])
+                   for block in blocks]
+    for (i, j, c) in entries:
+        if blocks is not None:
+            # Remap the free coordinates into one of the blocks.
+            block = allowed[(i + j) % len(allowed)]
+            i = int(block[i % len(block)])
+            j = int(block[j % len(block)])
+        if i == j:
+            continue
+        m[i, j] = min(m[i, j], float(c))
+        m[j ^ 1, i ^ 1] = m[i, j]
+    return m
+
+
+def dbm_entries(n: int, max_entries: int = 40):
+    """Strategy for raw entry triples over a 2n x 2n DBM."""
+    dim = 2 * n
+    triple = st.tuples(st.integers(0, dim - 1), st.integers(0, dim - 1),
+                       st.integers(-8, 25))
+    return st.lists(triple, max_size=max_entries)
+
+
+@st.composite
+def coherent_dbms(draw, min_n: int = 1, max_n: int = 6):
+    """Random coherent DBMs (possibly empty octagons)."""
+    n = draw(st.integers(min_n, max_n))
+    entries = draw(dbm_entries(n))
+    return make_coherent_dbm(n, entries)
+
+
+@st.composite
+def block_dbms(draw, min_n: int = 2, max_n: int = 8):
+    """Random coherent DBMs whose constraints respect a block partition."""
+    n = draw(st.integers(min_n, max_n))
+    n_blocks = draw(st.integers(1, min(3, n)))
+    vars_ = list(range(n))
+    blocks = [vars_[i::n_blocks + 1] for i in range(n_blocks)]
+    blocks = [b for b in blocks if b]
+    entries = draw(dbm_entries(n))
+    return make_coherent_dbm(n, entries, blocks=blocks), blocks
+
+
+def sample_points(m: np.ndarray, rng: np.random.Generator, count: int = 50):
+    """Random concrete points, biased towards a DBM's bound region."""
+    n = m.shape[0] // 2
+    return rng.integers(-30, 30, size=(count, n)).astype(float)
+
+
+def satisfies(m: np.ndarray, point: np.ndarray, tol: float = 1e-9) -> bool:
+    """Does a concrete point satisfy every finite inequality of ``m``?"""
+    n = m.shape[0] // 2
+    vhat = np.empty(2 * n)
+    vhat[0::2] = point
+    vhat[1::2] = -point
+    diff = vhat[None, :] - vhat[:, None]
+    finite = np.isfinite(m)
+    return bool(np.all(diff[finite] <= m[finite] + tol))

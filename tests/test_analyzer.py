@@ -1,0 +1,120 @@
+"""End-to-end analyzer tests, including the paper's Figure 2 example."""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.analyzer import analyze_source
+from repro.core import INF
+from repro.core.constraints import LinExpr
+from repro.workloads.programs import fig2_program
+
+
+class TestFigure2:
+    """The paper's running example: the analysis of
+
+        x = 1; y = x; while (x <= m) { x = x + 1; y = y + x; }
+
+    The octagon analysis must establish the relational facts the paper
+    derives: x = y = 1 before the loop (with x + y <= 2 from the
+    strengthening step), y >= x and x >= 1 as loop invariants.
+    """
+
+    def test_invariants_before_loop(self):
+        src = "x = 1; y = x; m = [0, 10]; assert(x + y <= 2); assert(y == 1);"
+        res = analyze_source(src)
+        assert res.all_verified
+
+    def test_loop_exit_facts(self):
+        res = analyze_source(fig2_program() + """
+            assert(y >= x - 1);
+            assert(x >= 1);
+        """)
+        # y >= x holds when the loop ran; before it x=y=1, so y >= x - 1
+        # holds universally.  x >= 1 always.
+        assert res.all_verified
+
+    def test_relational_invariant_beats_intervals(self):
+        src = fig2_program() + "assert(y >= x - 1);"
+        oct_res = analyze_source(src, domain="octagon")
+        box_res = analyze_source(src, domain="interval")
+        assert oct_res.all_verified
+        assert not box_res.all_verified  # boxes cannot relate y and x
+
+    def test_exit_bounds(self):
+        res = analyze_source(fig2_program().replace("m", "mm") + "skip;")
+        proc = res.procedures[0]
+        x_lo, _ = proc.invariant_at_exit().bounds(0)
+        assert x_lo >= 1.0
+
+
+class TestChecks:
+    def test_verified_and_refuted(self):
+        res = analyze_source("x = [0, 5]; assert(x >= 0); assert(x >= 1);")
+        outcomes = {c.cond_text: c.verified for c in res.checks}
+        assert outcomes["x >= 0"] is True
+        assert outcomes["x >= 1"] is False
+
+    def test_unreachable_asserts_hold(self):
+        res = analyze_source("assume(false); assert(1 <= 0);")
+        assert res.all_verified
+
+    def test_check_metadata(self):
+        res = analyze_source("proc p { x = 1; assert(x == 1); }")
+        (check,) = res.checks
+        assert check.procedure == "p"
+        assert check.cond_text == "x == 1"
+
+    def test_all_verified_property(self):
+        res = analyze_source("x = 1; assert(x == 1); assert(x == 2);")
+        assert not res.all_verified
+
+
+class TestMultiProcedure:
+    SRC = """
+    proc inc { a = [0, 3]; b = a + 1; assert(b >= 1); }
+    proc dec { c = [0, 3]; d = c - 1; assert(d <= 2); }
+    """
+
+    def test_procedures_independent(self):
+        res = analyze_source(self.SRC)
+        assert [p.name for p in res.procedures] == ["inc", "dec"]
+        assert res.all_verified
+        assert res.procedure("inc").box_at_exit()[1] == (1.0, 4.0)
+
+    def test_procedure_lookup_error(self):
+        res = analyze_source(self.SRC)
+        with pytest.raises(KeyError):
+            res.procedure("nope")
+
+
+class TestDomains:
+    @pytest.mark.parametrize("domain", ["octagon", "apron", "interval"])
+    def test_all_domains_run(self, domain):
+        res = analyze_source("x = 0; while (x < 4) { x = x + 1; }",
+                             domain=domain)
+        assert res.procedures[0].box_at_exit()[0] == (4.0, 4.0)
+
+    def test_octagon_apron_agree_end_to_end(self):
+        src = """
+        x = [0, 8]; y = x; z = 0;
+        while (z < 5) { z = z + 1; y = y + 1; }
+        """
+        a = analyze_source(src, domain="octagon").procedures[0].box_at_exit()
+        b = analyze_source(src, domain="apron").procedures[0].box_at_exit()
+        assert a == b
+
+
+class TestCollect:
+    def test_stats_collection(self):
+        analyzer = Analyzer(domain="octagon")
+        res = analyzer.analyze("x = 0; while (x < 4) { x = x + 1; }",
+                               collect=True)
+        assert res.octagon_stats is not None
+        assert res.octagon_stats.op_calls.get("join", 0) > 0
+        stats = res.octagon_stats.closure_stats()
+        assert stats["closures"] >= 0
+        assert res.seconds > 0
+
+    def test_no_collection_by_default(self):
+        res = analyze_source("x = 1;")
+        assert res.octagon_stats is None

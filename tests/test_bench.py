@@ -1,0 +1,81 @@
+"""Tests for the measurement and reporting harness."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    closure_comparison,
+    fig8_row,
+    format_table,
+    geomean,
+    render_ascii_series,
+    save_result,
+    table2_row,
+    table3_row,
+)
+from repro.workloads import get_benchmark
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.0], ["long-name", 123456.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[0.000001], [1234567.0], [1.5]])
+        assert "e" in text  # scientific notation for extremes
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([5.0, 0.0]) == pytest.approx(5.0)  # nonpositives dropped
+
+    def test_render_ascii_series(self):
+        chart = render_ascii_series({"a": [1.0, 10.0, 100.0],
+                                     "b": [2.0, 2.0, 2.0]}, title="demo")
+        assert "demo" in chart
+        assert "* = a" in chart
+        assert "o = b" in chart
+
+    def test_render_empty(self):
+        assert "(no data)" in render_ascii_series({"a": []}, title="t")
+
+    def test_save_result(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_result("unit", "hello")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+
+
+class TestRunner:
+    BENCH = "firefox"  # smallest workload
+
+    def test_closure_comparison(self):
+        cc = closure_comparison(get_benchmark(self.BENCH), scale="small",
+                                max_events=5)
+        assert cc.events
+        assert all(e.t_apron > 0 and e.t_opt > 0 for e in cc.events)
+        assert cc.fw_speedup > 0 and cc.opt_speedup > 0
+
+    def test_fig8_row(self):
+        row = fig8_row(get_benchmark(self.BENCH), scale="small")
+        assert row["speedup"] > 0
+        assert row["paper_speedup"] == 4.0
+
+    def test_table2_row(self):
+        row = table2_row(get_benchmark(self.BENCH), scale="small")
+        assert row["closures"] > 0
+        assert row["paper_closures"] == 1061
+
+    def test_table3_row(self):
+        row = table3_row(get_benchmark(self.BENCH), scale="small", aux_passes=2)
+        assert 0 < row["opt_pct_oct"] <= 100
+        assert 0 < row["apron_pct_oct"] <= 100
+        assert row["speedup"] > 0

@@ -1,0 +1,73 @@
+"""Tests for the package CLI (python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, **kwargs):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=300,
+                          **kwargs)
+
+
+class TestAnalyze:
+    def test_analyze_file(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("x = [0, 4]; y = x + 1; assert(y <= 5);")
+        proc = run_cli("analyze", str(src))
+        assert proc.returncode == 0, proc.stderr
+        assert "VERIFIED" in proc.stdout
+        assert "y in [1, 5]" in proc.stdout
+
+    def test_analyze_failure_exit_code(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("x = [0, 4]; assert(x <= 3);")
+        proc = run_cli("analyze", str(src))
+        assert proc.returncode == 1
+        assert "FAILED TO PROVE" in proc.stdout
+
+    @pytest.mark.parametrize("domain", ["interval", "zone", "pentagon"])
+    def test_other_domains(self, tmp_path, domain):
+        src = tmp_path / "p.mini"
+        src.write_text("x = 1; assert(x == 1);")
+        proc = run_cli("analyze", str(src), "--domain", domain)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestPrecondition:
+    def test_precondition(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("assume(x >= 2); y = x;")
+        proc = run_cli("precondition", str(src))
+        assert proc.returncode == 0, proc.stderr
+        assert "-x <= -2" in proc.stdout
+
+    def test_unreachable_exit(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("assume(false);")
+        proc = run_cli("precondition", str(src))
+        assert "false (the exit is unreachable)" in proc.stdout
+
+
+class TestSuiteAndDemo:
+    def test_suite_listing(self):
+        proc = run_cli("suite")
+        assert proc.returncode == 0
+        assert "crypt" in proc.stdout
+        assert "146.0x" in proc.stdout
+
+    def test_demo(self):
+        proc = run_cli("demo")
+        assert proc.returncode == 0
+        assert "VERIFIED" in proc.stdout
+
+    def test_bench_small(self):
+        proc = run_cli("bench", "firefox", "--scale", "small")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout
+
+    def test_unknown_command(self):
+        proc = run_cli("nonsense")
+        assert proc.returncode != 0

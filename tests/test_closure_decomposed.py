@@ -1,0 +1,120 @@
+"""Tests specific to the decomposed closure: component-wise closure,
+strengthening-induced merging, and the exact structural refresh."""
+
+import numpy as np
+
+from repro.core.closure_decomposed import (
+    close_component,
+    closure_decomposed,
+    strengthen_and_merge,
+    submatrix_sparsity,
+)
+from repro.core.closure_reference import closure_full_scalar
+from repro.core.constraints import OctConstraint, dbm_cells
+from repro.core.densemat import matrices_equal, new_top
+from repro.core.partition import Partition
+
+
+def _meet(m, cons):
+    for r, s, c in dbm_cells(cons):
+        m[r, s] = min(m[r, s], c)
+        m[s ^ 1, r ^ 1] = m[r, s]
+
+
+class TestComponentClosure:
+    def test_shortest_path_cannot_merge_components(self):
+        """Variables in different components stay unrelated after the
+        shortest-path step (the paper's key decomposition argument)."""
+        m = new_top(4)
+        _meet(m, OctConstraint.diff(0, 1, 2.0))
+        _meet(m, OctConstraint.diff(2, 3, 5.0))
+        part = Partition(4, [[0, 1], [2, 3]])
+        empty, exact = closure_decomposed(m, part)
+        assert not empty
+        assert exact.canonical() == [[0, 1], [2, 3]]
+        # No cross-component entry became finite.
+        for i in (0, 1, 2, 3):
+            for j in (4, 5, 6, 7):
+                assert np.isinf(m[i, j])
+
+    def test_strengthening_merges_on_unary_bounds(self):
+        """x <= 1 (component {x}) and y <= 1 (component {y}) produce
+        x + y <= 2 -- the components must merge."""
+        m = new_top(2)
+        _meet(m, OctConstraint.upper(0, 1.0))
+        _meet(m, OctConstraint.upper(1, 1.0))
+        part = Partition(2, [[0], [1]])
+        empty, exact = closure_decomposed(m, part)
+        assert not empty
+        (r, s, _) = dbm_cells(OctConstraint.sum(0, 1, 0.0))[0]
+        assert m[r, s] == 2.0
+        assert exact.canonical() == [[0, 1]]
+
+    def test_unpartitioned_variables_untouched(self):
+        m = new_top(3)
+        _meet(m, OctConstraint.diff(0, 2, 1.0))
+        part = Partition(3, [[0, 2]])  # variable 1 unconstrained
+        empty, exact = closure_decomposed(m, part)
+        assert not empty
+        assert 1 not in exact.support
+
+    def test_bottom_inside_component(self):
+        m = new_top(4)
+        _meet(m, OctConstraint.upper(2, -1.0))
+        _meet(m, OctConstraint.lower(2, 0.0))
+        part = Partition(4, [[2], [0, 1]])
+        empty, _ = closure_decomposed(m, part)
+        assert empty
+
+
+class TestHelpers:
+    def test_submatrix_sparsity_range(self):
+        top = new_top(3)
+        # Only the 2n diagonal entries are finite: 1 - 6/24.
+        assert submatrix_sparsity(top) == 0.75
+        dense = np.zeros((6, 6))
+        assert submatrix_sparsity(dense) == 0.0
+
+    def test_close_component_is_local(self):
+        m = new_top(4)
+        _meet(m, OctConstraint.diff(0, 1, 1.0))
+        _meet(m, OctConstraint.diff(1, 0, 1.0))
+        before = m.copy()
+        close_component(m, [0, 1])
+        # Rows/cols of variables 2 and 3 untouched.
+        assert np.array_equal(np.isinf(m[4:, :]), np.isinf(before[4:, :]))
+
+    def test_strengthen_and_merge_without_unaries(self):
+        m = new_top(4)
+        _meet(m, OctConstraint.diff(0, 1, 1.0))
+        part = Partition(4, [[0, 1], [2]])
+        merged = strengthen_and_merge(m, part)
+        assert merged == part  # at most one variable has unary info
+
+
+class TestAgainstReference:
+    def test_random_block_structures(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(2, 9))
+            nblocks = int(rng.integers(1, 4))
+            vars_ = list(range(n))
+            rng.shuffle(vars_)
+            blocks = [sorted(vars_[i::nblocks]) for i in range(nblocks)]
+            blocks = [b for b in blocks if b]
+            m = new_top(n)
+            for block in blocks:
+                idx = [2 * v + s for v in block for s in (0, 1)]
+                for _ in range(3 * len(block)):
+                    i, j = rng.choice(idx, 2)
+                    if i != j:
+                        c = float(rng.integers(-2, 15))
+                        m[i, j] = min(m[i, j], c)
+                        m[j ^ 1, i ^ 1] = m[i, j]
+            ref = m.copy()
+            empty_ref = closure_full_scalar(ref)
+            out = m.copy()
+            empty, _ = closure_decomposed(out, Partition(n, blocks))
+            assert empty == empty_ref
+            if not empty:
+                assert matrices_equal(ref, out, tol=1e-9)

@@ -1,0 +1,106 @@
+"""The central differential property: every closure implementation --
+reference full-DBM scalar (paper Algorithm 1), vectorised FW, APRON's
+half-matrix Algorithm 2, the new dense Algorithm 3 (scalar and
+vectorised), the sparse closure and the decomposed closure -- computes
+the same result on every input."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from dbm_strategies import block_dbms, coherent_dbms
+from repro.core.closure_apron import closure_apron
+from repro.core.closure_decomposed import closure_decomposed
+from repro.core.closure_dense import closure_dense_numpy, closure_dense_scalar
+from repro.core.closure_reference import closure_full_numpy, closure_full_scalar
+from repro.core.closure_sparse import closure_sparse
+from repro.core.densemat import matrices_equal
+from repro.core.halfmat import HalfMat
+from repro.core.partition import Partition
+
+TOL = 1e-9
+
+
+def _reference(m):
+    ref = m.copy()
+    empty = closure_full_scalar(ref)
+    return empty, ref
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_fw_numpy_matches_reference(m):
+    empty, ref = _reference(m)
+    out = m.copy()
+    assert closure_full_numpy(out) == empty
+    if not empty:
+        assert matrices_equal(ref, out, tol=TOL)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_apron_matches_reference(m):
+    empty, ref = _reference(m)
+    half = HalfMat.from_full(m)
+    assert closure_apron(half) == empty
+    if not empty:
+        assert matrices_equal(ref, half.to_full(), tol=TOL)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_dense_scalar_matches_reference(m):
+    empty, ref = _reference(m)
+    half = HalfMat.from_full(m)
+    assert closure_dense_scalar(half) == empty
+    if not empty:
+        assert matrices_equal(ref, half.to_full(), tol=TOL)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_dense_numpy_matches_reference(m):
+    empty, ref = _reference(m)
+    out = m.copy()
+    assert closure_dense_numpy(out) == empty
+    if not empty:
+        assert matrices_equal(ref, out, tol=TOL)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_sparse_matches_reference(m):
+    empty, ref = _reference(m)
+    out = m.copy()
+    assert closure_sparse(out) == empty
+    if not empty:
+        assert matrices_equal(ref, out, tol=TOL)
+
+
+@settings(max_examples=60, deadline=None)
+@given(block_dbms())
+def test_decomposed_matches_reference(data):
+    m, blocks = data
+    empty, ref = _reference(m)
+    out = m.copy()
+    part = Partition(m.shape[0] // 2, blocks)
+    got_empty, exact = closure_decomposed(out, part)
+    assert got_empty == empty
+    if not empty:
+        assert matrices_equal(ref, out, tol=TOL)
+        # The returned partition is the exact one of the closed matrix.
+        assert exact == Partition.from_matrix(out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(block_dbms())
+def test_decomposed_with_coarser_partition(data):
+    """A coarser (over-approximated) partition must not change results."""
+    m, blocks = data
+    n = m.shape[0] // 2
+    empty, ref = _reference(m)
+    out = m.copy()
+    coarse = Partition.single_block(n)
+    got_empty, _ = closure_decomposed(out, coarse)
+    assert got_empty == empty
+    if not empty:
+        assert matrices_equal(ref, out, tol=TOL)

@@ -1,0 +1,98 @@
+"""Property tests: closure is a closure operator and is sound.
+
+* idempotent: closing twice changes nothing;
+* decreasing: pointwise <= the input (tighter or equal bounds);
+* sound: every concrete point satisfying the input DBM satisfies the
+  closed DBM (no point is lost);
+* emptiness is detected consistently.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from dbm_strategies import coherent_dbms, sample_points, satisfies
+from repro.core.closure_reference import closure_full_scalar
+from repro.core.closure_dense import closure_dense_numpy
+from repro.core.densemat import is_coherent, matrices_equal
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_closure_idempotent(m):
+    first = m.copy()
+    if closure_dense_numpy(first):
+        return
+    second = first.copy()
+    assert not closure_dense_numpy(second)
+    assert matrices_equal(first, second, tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coherent_dbms())
+def test_closure_decreasing_and_coherent(m):
+    closed = m.copy()
+    if closure_dense_numpy(closed):
+        return
+    # Decreasing everywhere except the reset diagonal.
+    off = ~np.eye(m.shape[0], dtype=bool)
+    assert np.all(closed[off] <= m[off] + 1e-9)
+    assert is_coherent(closed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coherent_dbms())
+def test_closure_soundness_by_sampling(m):
+    """No concrete point of the input octagon is lost by closure."""
+    closed = m.copy()
+    empty = closure_dense_numpy(closed)
+    rng = np.random.default_rng(0)
+    for point in sample_points(m, rng, count=40):
+        if satisfies(m, point):
+            assert not empty, "closure declared a non-empty octagon empty"
+            assert satisfies(closed, point), (
+                f"point {point} satisfied the input but not the closure")
+
+
+@settings(max_examples=40, deadline=None)
+@given(coherent_dbms())
+def test_emptiness_matches_reference(m):
+    a = m.copy()
+    b = m.copy()
+    assert closure_dense_numpy(a) == closure_full_scalar(b)
+
+
+def test_closure_derives_transitive_bound():
+    # x - y <= 1 and y - z <= 2 must give x - z <= 3.
+    from repro.core.constraints import OctConstraint, dbm_cells
+    from repro.core.densemat import new_top
+    m = new_top(3)
+    for cons in (OctConstraint.diff(0, 1, 1.0), OctConstraint.diff(1, 2, 2.0)):
+        for r, s, c in dbm_cells(cons):
+            m[r, s] = min(m[r, s], c)
+    assert not closure_dense_numpy(m)
+    (r, s, _) = dbm_cells(OctConstraint.diff(0, 2, 0.0))[0]
+    assert m[r, s] == 3.0
+
+
+def test_closure_strengthening_combines_unaries():
+    # x <= 1 and y <= 1 must give x + y <= 2 (the paper's example).
+    from repro.core.constraints import OctConstraint, dbm_cells
+    from repro.core.densemat import new_top
+    m = new_top(2)
+    for cons in (OctConstraint.upper(0, 1.0), OctConstraint.upper(1, 1.0)):
+        for r, s, c in dbm_cells(cons):
+            m[r, s] = min(m[r, s], c)
+    assert not closure_dense_numpy(m)
+    (r, s, _) = dbm_cells(OctConstraint.sum(0, 1, 0.0))[0]
+    assert m[r, s] == 2.0
+
+
+def test_closure_detects_contradiction():
+    # x <= 0 and x >= 1 is empty.
+    from repro.core.constraints import OctConstraint, dbm_cells
+    from repro.core.densemat import new_top
+    m = new_top(1)
+    for cons in (OctConstraint.upper(0, 0.0), OctConstraint.lower(0, 1.0)):
+        for r, s, c in dbm_cells(cons):
+            m[r, s] = min(m[r, s], c)
+    assert closure_dense_numpy(m)

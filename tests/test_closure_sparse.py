@@ -1,0 +1,76 @@
+"""Tests specific to the index-driven sparse closure."""
+
+import numpy as np
+
+from repro.core.closure_dense import closure_dense_numpy
+from repro.core.closure_sparse import closure_sparse, shortest_path_sparse
+from repro.core.constraints import OctConstraint, dbm_cells
+from repro.core.densemat import new_top
+from repro.core.stats import OpCounter
+
+
+def _with_constraints(n, constraints):
+    m = new_top(n)
+    for cons in constraints:
+        for r, s, c in dbm_cells(cons):
+            m[r, s] = min(m[r, s], c)
+    return m
+
+
+class TestCandidateSkipping:
+    def test_top_needs_no_candidates(self):
+        m = new_top(10)
+        performed = shortest_path_sparse(m)
+        # Only diagonal entries are finite: each pivot contributes a
+        # single 1x1 rectangle.
+        assert performed == 2 * 10
+
+    def test_clustered_input_stays_cheap(self):
+        """Two 2-variable clusters in a 20-variable DBM: candidate count
+        stays far below the dense n^3."""
+        n = 20
+        m = _with_constraints(n, [
+            OctConstraint.diff(0, 1, 3.0),
+            OctConstraint.diff(1, 0, -1.0),
+            OctConstraint.diff(10, 11, 2.0),
+        ])
+        counter = OpCounter()
+        performed = shortest_path_sparse(m, counter)
+        dense_candidates = 2 * (2 * n) ** 3  # full FW would do this
+        assert performed < dense_candidates / 100
+
+    def test_counter_receives_two_ops_per_candidate(self):
+        m = new_top(3)
+        counter = OpCounter()
+        performed = shortest_path_sparse(m, counter)
+        assert counter.mins == 2 * performed
+
+
+class TestCorrectnessEdges:
+    def test_empty_dimension(self):
+        m = new_top(0).reshape(0, 0)
+        assert not closure_sparse(m)
+
+    def test_bottom_detection(self):
+        m = _with_constraints(1, [OctConstraint.upper(0, -1.0),
+                                  OctConstraint.lower(0, 0.0)])
+        assert closure_sparse(m)
+
+    def test_matches_dense_on_mixed_density(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            n = int(rng.integers(2, 8))
+            m = new_top(n)
+            for _ in range(int(rng.integers(1, 4 * n))):
+                i, j = rng.integers(0, 2 * n, 2)
+                if i != j:
+                    c = float(rng.integers(-2, 20))
+                    m[i, j] = min(m[i, j], c)
+                    m[j ^ 1, i ^ 1] = m[i, j]
+            a, b = m.copy(), m.copy()
+            ea = closure_sparse(a)
+            eb = closure_dense_numpy(b)
+            assert ea == eb
+            if not ea:
+                assert np.allclose(np.where(np.isinf(a), 1e300, a),
+                                   np.where(np.isinf(b), 1e300, b))

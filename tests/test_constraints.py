@@ -1,0 +1,145 @@
+"""Tests for the constraint language and its DBM encoding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import INF
+from repro.core.constraints import (
+    LinExpr,
+    OctConstraint,
+    constraint_of_cell,
+    constraints_from_dbm,
+    dbm_cells,
+)
+from repro.core.densemat import new_top
+
+
+class TestOctConstraintValidation:
+    def test_rejects_zero_coeff_i(self):
+        with pytest.raises(ValueError):
+            OctConstraint(0, 0, 0, 0, 1.0)
+
+    def test_rejects_unary_with_distinct_vars(self):
+        with pytest.raises(ValueError):
+            OctConstraint(0, 1, 1, 0, 1.0)
+
+    def test_rejects_binary_with_same_var(self):
+        with pytest.raises(ValueError):
+            OctConstraint(0, 1, 0, 1, 1.0)
+
+    def test_str(self):
+        assert str(OctConstraint.sum(0, 1, 5.0)) == "+v0 +v1 <= 5.0"
+        assert str(OctConstraint.upper(2, 3.0)) == "+v2 <= 3.0"
+
+
+class TestDbmEncoding:
+    def test_paper_figure1_sum(self):
+        # x + y <= 5 with x = v0, y = v1: stored at O[1, 2] (y+ - x-)
+        # and its mirror O[3, 0] (x+ - y-).
+        cells = dbm_cells(OctConstraint.sum(0, 1, 5.0))
+        assert set((r, s) for r, s, _ in cells) == {(1, 2), (3, 0)}
+        assert all(c == 5.0 for _, _, c in cells)
+
+    def test_unary_upper(self):
+        # v <= c becomes 2v <= 2c at O[2v+1, 2v] (self-mirror: one cell).
+        cells = dbm_cells(OctConstraint.upper(1, 4.0))
+        assert cells == [(3, 2, 8.0)]
+
+    def test_unary_lower(self):
+        cells = dbm_cells(OctConstraint.lower(0, -3.0))
+        assert cells == [(0, 1, 6.0)]
+
+    def test_difference(self):
+        # v0 - v1 <= 2: vhat_0 - vhat_2 <= 2 -> O[2, 0].
+        cells = dbm_cells(OctConstraint.diff(0, 1, 2.0))
+        assert set((r, s) for r, s, _ in cells) == {(2, 0), (1, 3)}
+
+    @given(st.integers(0, 4), st.integers(0, 4),
+           st.sampled_from([-1, 1]), st.sampled_from([-1, 0, 1]),
+           st.integers(-10, 10))
+    def test_cell_roundtrip(self, i, j, a, b, c):
+        """constraint -> cells -> constraint is the identity (up to the
+        symmetric binary form)."""
+        if b == 0:
+            cons = OctConstraint(i, a, i, 0, float(c))
+        else:
+            if i == j:
+                return
+            cons = OctConstraint(i, a, j, b, float(c))
+        r, s, bound = dbm_cells(cons)[0]
+        back = constraint_of_cell(r, s, bound)
+        # Compare as normalised term maps.
+        def terms(k):
+            out = {k.i: k.coeff_i}
+            if k.coeff_j:
+                out[k.j] = out.get(k.j, 0) + k.coeff_j
+            return out
+        assert terms(back) == terms(cons)
+        assert back.bound == cons.bound
+
+    def test_extraction_skips_trivial(self):
+        m = new_top(3)
+        assert constraints_from_dbm(m) == []
+
+    def test_extraction_reports_each_once(self):
+        m = new_top(2)
+        for r, s, c in dbm_cells(OctConstraint.sum(0, 1, 5.0)):
+            m[r, s] = c
+        cons = constraints_from_dbm(m)
+        assert len(cons) == 1
+        assert str(cons[0]) in ("+v0 +v1 <= 5.0", "+v1 +v0 <= 5.0")
+
+
+class TestConstraintEvaluation:
+    def test_binary(self):
+        cons = OctConstraint.sum(0, 1, 5.0)
+        assert cons.evaluate([2.0, 3.0])
+        assert not cons.evaluate([3.0, 3.0])
+
+    def test_unary(self):
+        cons = OctConstraint.lower(0, 1.0)  # v0 >= 1
+        assert cons.evaluate([1.0])
+        assert not cons.evaluate([0.0])
+
+
+class TestLinExpr:
+    def test_builders(self):
+        e = LinExpr.of_var(2).scaled(3.0).plus(LinExpr.of_const(1.0))
+        assert e.coeffs == {2: 3.0}
+        assert e.const == 1.0
+
+    def test_minus_cancels(self):
+        e = LinExpr.of_var(0).minus(LinExpr.of_var(0))
+        assert e.coeffs == {}
+
+    def test_interval_finite(self):
+        e = LinExpr({0: 2.0, 1: -1.0}, 3.0)
+        bounds = {0: (1.0, 2.0), 1: (0.0, 5.0)}
+        lo, hi = e.interval(lambda v: bounds[v])
+        assert (lo, hi) == (2 * 1 - 5 + 3, 2 * 2 - 0 + 3)
+
+    def test_interval_with_infinities(self):
+        e = LinExpr({0: 1.0}, 0.0)
+        lo, hi = e.interval(lambda v: (-INF, 4.0))
+        assert lo == -INF and hi == 4.0
+        e2 = LinExpr({0: -2.0}, 1.0)
+        lo, hi = e2.interval(lambda v: (-INF, 4.0))
+        assert lo == -7.0 and hi == INF
+
+    @given(st.dictionaries(st.integers(0, 3), st.integers(-3, 3), max_size=3),
+           st.integers(-5, 5))
+    def test_evaluate_in_interval(self, coeffs, const):
+        e = LinExpr({k: float(v) for k, v in coeffs.items() if v}, float(const))
+        point = [1.5, -2.0, 0.0, 3.0]
+        bounds = {v: (point[v], point[v]) for v in range(4)}
+        lo, hi = e.interval(lambda v: bounds[v])
+        val = e.evaluate(point)
+        assert lo - 1e-9 <= val <= hi + 1e-9
+
+    def test_is_octagonal_unit(self):
+        assert LinExpr({0: 1.0, 2: -1.0}).is_octagonal_unit()
+        assert not LinExpr({0: 2.0}).is_octagonal_unit()
+        assert not LinExpr({0: 1.0, 1: 1.0, 2: 1.0}).is_octagonal_unit()

@@ -1,0 +1,124 @@
+"""Tests for the classic dataflow substrate (liveness, reaching
+definitions, constant propagation)."""
+
+from repro.dataflow import (
+    constant_propagation,
+    liveness,
+    reaching_definitions,
+)
+from repro.dataflow.constprop import NAC
+from repro.dataflow.liveness import use_def, vars_of_aexpr, vars_of_bexpr
+from repro.frontend import build_cfg, parse_program
+
+
+def cfg_of(source):
+    return build_cfg(parse_program(source).procedures[0])
+
+
+class TestUseDef:
+    def test_assign(self):
+        cfg = cfg_of("x = y + z;")
+        used, defined = use_def(cfg.edges[0])
+        assert used == {"y", "z"}
+        assert defined == {"x"}
+
+    def test_self_assign_uses_and_defines(self):
+        cfg = cfg_of("x = x + 1;")
+        used, defined = use_def(cfg.edges[0])
+        assert used == {"x"} and defined == {"x"}
+
+    def test_assume_uses_only(self):
+        cfg = cfg_of("assume(a < b && !(c > 1));")
+        used, defined = use_def(cfg.edges[0])
+        assert used == {"a", "b", "c"} and defined == set()
+
+    def test_havoc_defines(self):
+        cfg = cfg_of("havoc(w);")
+        used, defined = use_def(cfg.edges[0])
+        assert used == set() and defined == {"w"}
+
+
+class TestLiveness:
+    def test_dead_assignment(self):
+        cfg = cfg_of("x = 1; y = 2; assert(y > 0);")
+        live = liveness(cfg)
+        # x is never read: dead at every node.
+        assert all("x" not in live[node] for node in range(cfg.n_nodes))
+
+    def test_live_through_branch(self):
+        cfg = cfg_of("x = 1; if (c > 0) { y = x; } else { y = 2; } z = y;")
+        live = liveness(cfg)
+        assert "x" in live[cfg.entry] or "x" in live[1]
+        # y is live right before z = y.
+        z_edge = [e for e in cfg.edges if e.describe().startswith("z")][0]
+        assert "y" in live[z_edge.src]
+
+    def test_loop_keeps_counter_live(self):
+        cfg = cfg_of("i = 0; while (i < 5) { i = i + 1; }")
+        live = liveness(cfg)
+        head = next(iter(cfg.loop_heads))
+        assert "i" in live[head]
+
+
+class TestReachingDefinitions:
+    def test_kill(self):
+        cfg = cfg_of("x = 1; x = 2; y = x;")
+        reach = reaching_definitions(cfg)
+        defs_at_exit = {d for d in reach[cfg.exit]}
+        x_defs = [d for d in defs_at_exit if d[1] == "x"]
+        assert len(x_defs) == 1  # x = 1 was killed
+
+    def test_branch_merges(self):
+        cfg = cfg_of("if (c > 0) { x = 1; } else { x = 2; } y = x;")
+        reach = reaching_definitions(cfg)
+        y_edge = [e for e in cfg.edges if e.describe().startswith("y")][0]
+        x_defs = [d for d in reach[y_edge.src] if d[1] == "x"]
+        assert len(x_defs) == 2
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of("i = 0; while (i < 5) { i = i + 1; }")
+        reach = reaching_definitions(cfg)
+        head = next(iter(cfg.loop_heads))
+        i_defs = [d for d in reach[head] if d[1] == "i"]
+        assert len(i_defs) == 2  # initial def and the loop increment
+
+
+class TestConstantPropagation:
+    def test_chain(self):
+        cfg = cfg_of("x = 2; y = x + 3; z = y * x;")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "x") == 2.0
+        assert cp.constant_at(cfg.exit, "y") == 5.0
+        assert cp.constant_at(cfg.exit, "z") == 10.0
+
+    def test_branch_conflict(self):
+        cfg = cfg_of("if (c > 0) { x = 1; } else { x = 2; } y = x;")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "x") is None
+
+    def test_branch_agreement(self):
+        cfg = cfg_of("if (c > 0) { x = 7; } else { x = 7; }")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "x") == 7.0
+
+    def test_havoc_is_nac(self):
+        cfg = cfg_of("x = 1; havoc(x);")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "x") is None
+
+    def test_interval_assignment(self):
+        cfg = cfg_of("x = [3, 3]; y = [0, 1];")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "x") == 3.0
+        assert cp.constant_at(cfg.exit, "y") is None
+
+    def test_zero_annihilates(self):
+        cfg = cfg_of("havoc(w); x = w * 0;")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "x") == 0.0
+
+    def test_loop_invariant_constant(self):
+        cfg = cfg_of("k = 4; i = 0; while (i < 3) { i = i + k; }")
+        cp = constant_propagation(cfg)
+        assert cp.constant_at(cfg.exit, "k") == 4.0
+        assert cp.constant_at(cfg.exit, "i") is None

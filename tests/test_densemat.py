@@ -1,0 +1,98 @@
+"""Tests for the full coherent-DBM helpers."""
+
+import numpy as np
+from hypothesis import given
+
+from dbm_strategies import coherent_dbms
+from repro.core.bounds import INF
+from repro.core.densemat import (
+    coherent_lower_mask,
+    count_nni,
+    enforce_coherence,
+    has_negative_cycle,
+    is_coherent,
+    matrices_equal,
+    new_top,
+    new_uninitialised,
+    sparsity,
+)
+from repro.core.indexing import half_size
+
+
+class TestConstruction:
+    def test_new_top(self):
+        m = new_top(3)
+        assert m.shape == (6, 6)
+        assert np.all(np.diagonal(m) == 0.0)
+        assert np.isinf(m[0, 1])
+        assert is_coherent(m)
+        assert count_nni(m) == 6  # the diagonal
+
+    def test_new_uninitialised_shape(self):
+        m = new_uninitialised(4)
+        assert m.shape == (8, 8)
+        assert m.dtype == np.float64
+
+
+class TestCoherence:
+    @given(coherent_dbms())
+    def test_generated_dbms_are_coherent(self, m):
+        assert is_coherent(m)
+
+    def test_detects_incoherence(self):
+        m = new_top(2)
+        m[0, 2] = 5.0  # mirror (3, 1) not updated
+        assert not is_coherent(m)
+        enforce_coherence(m)
+        assert is_coherent(m)
+
+    def test_lower_mask_size(self):
+        for n in (1, 2, 5):
+            mask = coherent_lower_mask(n)
+            assert int(mask.sum()) == half_size(n)
+
+
+class TestCounting:
+    def test_count_nni_counts_half_only(self):
+        m = new_top(2)
+        m[1, 0] = 4.0
+        m[0, 1] = 4.0  # the unary pair: two distinct half slots
+        assert count_nni(m) == 4 + 2  # diagonal + two unary entries
+
+    def test_sparsity_of_top(self):
+        # Top has only the 2n diagonal entries finite out of 2n^2 + 2n.
+        m = new_top(5)
+        assert sparsity(m) == 1.0 - 10 / 60
+
+    def test_sparsity_of_full(self):
+        m = np.zeros((6, 6))
+        assert sparsity(m) == 0.0
+
+
+class TestComparison:
+    @given(coherent_dbms())
+    def test_equal_to_self(self, m):
+        assert matrices_equal(m, m)
+        assert matrices_equal(m, m.copy(), tol=1e-12)
+
+    def test_tolerance(self):
+        a = new_top(1)
+        b = a.copy()
+        a[1, 0] = 1.0
+        b[1, 0] = 1.0 + 1e-12
+        assert not matrices_equal(a, b)
+        assert matrices_equal(a, b, tol=1e-9)
+
+    def test_inf_pattern_must_match(self):
+        a = new_top(1)
+        b = a.copy()
+        b[1, 0] = 5.0
+        assert not matrices_equal(a, b, tol=100.0)
+
+
+class TestNegativeCycle:
+    def test_detects_negative_diagonal(self):
+        m = new_top(2)
+        assert not has_negative_cycle(m)
+        m[2, 2] = -0.5
+        assert has_negative_cycle(m)

@@ -1,0 +1,136 @@
+"""Edge cases across the core: empty dimensions, bottom propagation,
+degenerate constraint lists, and pretty-printing corners."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INF,
+    ApronOctagon,
+    LinExpr,
+    Octagon,
+    OctConstraint,
+    SwitchPolicy,
+)
+
+
+class TestZeroDimensions:
+    @pytest.mark.parametrize("cls", [Octagon, ApronOctagon])
+    def test_lattice_on_empty(self, cls):
+        top = cls.top(0)
+        bot = cls.bottom(0)
+        assert top.is_top()
+        assert bot.is_bottom()
+        assert top.join(top).is_top()
+        assert top.meet(bot).is_bottom()
+        assert bot.is_leq(top)
+        assert not top.is_leq(bot)
+
+    def test_closure_on_empty(self):
+        assert Octagon.top(0).closure().is_top()
+
+    def test_to_constraints_empty(self):
+        assert Octagon.top(0).to_constraints() == []
+
+
+class TestBottomPropagation:
+    @pytest.mark.parametrize("cls", [Octagon, ApronOctagon])
+    def test_all_transfer_ops_preserve_bottom(self, cls):
+        bot = cls.bottom(3)
+        assert bot.forget(0).is_bottom()
+        assert bot.assign_const(1, 5.0).is_bottom()
+        assert bot.assign_var(0, 2).is_bottom()
+        assert bot.assign_interval(0, 0.0, 1.0).is_bottom()
+        assert bot.assign_linexpr(0, LinExpr({1: 2.0}, 1.0)).is_bottom()
+        assert bot.assume_linear(LinExpr({0: 1.0})).is_bottom()
+        assert bot.meet_constraint(OctConstraint.upper(0, 1.0)).is_bottom()
+
+    def test_bottom_discovered_late(self):
+        """An inconsistent unclosed octagon must report bottom through
+        every query, not just closure."""
+        o = Octagon.from_constraints(2, [OctConstraint.diff(0, 1, -1.0),
+                                         OctConstraint.diff(1, 0, -1.0)])
+        assert o.bounds(0) == (INF, -INF)
+        assert o.to_box() == [(INF, -INF)] * 2
+        assert o.to_constraints() == []
+        assert o.is_bottom()
+
+    def test_join_with_discovered_bottom(self):
+        empty = Octagon.from_constraints(1, [OctConstraint.upper(0, 0.0),
+                                             OctConstraint.lower(0, 1.0)])
+        other = Octagon.from_box([(2.0, 3.0)])
+        assert other.join(empty).is_eq(other)
+        assert empty.join(other).is_eq(other)
+
+
+class TestDegenerateInputs:
+    def test_meet_constraints_empty_list(self):
+        o = Octagon.from_box([(0.0, 1.0)])
+        assert o.meet_constraints([]).is_eq(o)
+
+    def test_assume_trivially_true_linexpr(self):
+        o = Octagon.from_box([(0.0, 1.0)])
+        assert o.assume_linear(LinExpr({}, -5.0)).is_eq(o)
+
+    def test_assign_linexpr_constant_only(self):
+        o = Octagon.top(2).assign_linexpr(0, LinExpr({}, 7.0))
+        assert o.bounds(0) == (7.0, 7.0)
+
+    def test_widening_identical_inputs_is_identity(self):
+        o = Octagon.from_box([(0.0, 3.0), (1.0, 2.0)])
+        w = o.widening(o.copy())
+        assert w.is_eq(o)
+
+    def test_add_zero_dimensions(self):
+        o = Octagon.from_box([(0.0, 1.0)])
+        assert o.add_dimensions(0).is_eq(o)
+
+    def test_remove_no_dimensions(self):
+        o = Octagon.from_box([(0.0, 1.0)])
+        assert o.remove_dimensions([]).is_eq(o)
+
+
+class TestPolicyEdges:
+    def test_threshold_extremes(self):
+        always_sparse = SwitchPolicy(threshold=0.0)
+        never_sparse = SwitchPolicy(threshold=1.01)
+        o1 = Octagon.top(4, policy=always_sparse).meet_constraint(
+            OctConstraint.upper(0, 1.0))
+        o2 = Octagon.top(4, policy=never_sparse).meet_constraint(
+            OctConstraint.upper(0, 1.0))
+        # Semantics never depend on the policy.
+        assert o1.to_box() == o2.to_box()
+
+    def test_policy_survives_operations(self):
+        policy = SwitchPolicy(decompose=False)
+        o = Octagon.top(3, policy=policy).assign_const(0, 1.0)
+        assert o.policy is policy
+        assert o.join(Octagon.top(3, policy=policy)).policy is policy
+
+
+class TestPrettyCorners:
+    def test_pretty_equalities_render_both_sides(self):
+        o = Octagon.top(1).assign_const(0, 2.0)
+        text = o.pretty(names=["x"])
+        assert "+x <= 2" in text and "-x <= -2" in text
+
+    def test_pretty_negative_bounds(self):
+        o = Octagon.from_constraints(1, [OctConstraint.upper(0, -1.5)])
+        assert "<= -1.5" in o.pretty()
+
+
+class TestCopySemantics:
+    def test_copy_isolated(self):
+        o = Octagon.from_box([(0.0, 1.0)])
+        c = o.copy()
+        c2 = c.assign_const(0, 9.0)
+        assert o.bounds(0) == (0.0, 1.0)
+        assert c.bounds(0) == (0.0, 1.0)
+        assert c2.bounds(0) == (9.0, 9.0)
+
+    def test_closure_cache_not_shared_across_copies(self):
+        o = Octagon.from_constraints(2, [OctConstraint.diff(0, 1, 1.0)])
+        closed = o.closure()
+        c = o.copy()
+        assert c._ccache is None
+        assert closed.closed

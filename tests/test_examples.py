@@ -1,0 +1,77 @@
+"""Every example script must run cleanly from a fresh process."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                        "examples")
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "loop_invariants.py",
+    "array_bounds.py",
+    "decomposition_demo.py",
+    "precision_study.py",
+    "backward_analysis.py",
+])
+def test_example_runs(script):
+    proc = run_example(script)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_quickstart_shows_decomposition():
+    proc = run_example("quickstart.py")
+    assert "independent components" in proc.stdout
+
+
+def test_loop_invariants_contrast():
+    out = run_example("loop_invariants.py").stdout
+    assert "octagon domain" in out
+    assert "VERIFIED" in out
+    assert "cannot prove" in out  # the interval domain fails the relational one
+
+
+def test_array_bounds_octagon_proves_all():
+    out = run_example("array_bounds.py").stdout
+    octagon_part = out.split("--- interval domain ---")[0]
+    assert "all safe" in octagon_part
+
+
+def test_analyzer_cli_demo():
+    proc = run_example("analyzer_cli.py", "--invariants")
+    assert proc.returncode == 0, proc.stderr
+    assert "assertions verified" in proc.stdout
+    assert "point 0" in proc.stdout
+
+
+def test_analyzer_cli_on_file(tmp_path):
+    src = tmp_path / "prog.mini"
+    src.write_text("x = [0, 3]; assert(x <= 3); assert(x >= 1);")
+    proc = run_example("analyzer_cli.py", str(src))
+    assert proc.returncode == 1  # one assertion cannot be proven
+    assert "FAILED TO PROVE" in proc.stdout
+
+
+def test_precision_study_ladder():
+    out = run_example("precision_study.py").stdout
+    # The precision ladder: interval fails the relational rows, the
+    # octagon proves everything.
+    lines = [l for l in out.splitlines() if l.startswith("sum")]
+    assert lines and "0/1" in lines[0] and "1/1 *" in lines[0]
+
+
+def test_backward_analysis_example():
+    out = run_example("backward_analysis.py").stdout
+    assert "PROVED UNREACHABLE" in out
+    assert "-x <= -61" in out

@@ -1,0 +1,110 @@
+"""Tests for the expand/fold summarised-dimension operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import INF, LinExpr, Octagon, OctConstraint
+
+
+class TestExpand:
+    def test_copy_inherits_bounds(self):
+        o = Octagon.from_box([(1.0, 3.0), (0.0, 0.0)])
+        e = o.expand(0, 2)
+        assert e.n == 4
+        assert e.bounds(2) == (1.0, 3.0)
+        assert e.bounds(3) == (1.0, 3.0)
+        assert e.bounds(0) == (1.0, 3.0)
+
+    def test_copy_inherits_relations(self):
+        o = Octagon.from_constraints(2, [OctConstraint.diff(0, 1, 2.0)])
+        e = o.expand(0, 1)
+        lo, hi = e.bound_linexpr(LinExpr({2: 1.0, 1: -1.0}))
+        assert hi == 2.0
+
+    def test_copies_unrelated_to_each_other(self):
+        o = Octagon.from_box([(0.0, 5.0)])
+        e = o.expand(0, 2)
+        lo, hi = e.bound_linexpr(LinExpr({1: 1.0, 2: -1.0}))
+        # Only the hull via the bounds, no equality.
+        assert (lo, hi) == (-5.0, 5.0)
+
+    def test_expand_bottom(self):
+        assert Octagon.bottom(2).expand(0, 3).n == 5
+        assert Octagon.bottom(2).expand(0, 3).is_bottom()
+
+    def test_expand_rejects_zero_copies(self):
+        with pytest.raises(ValueError):
+            Octagon.top(1).expand(0, 0)
+
+    def test_expand_soundness_by_points(self):
+        """Any point where the copy takes a value admissible for v is in
+        the expansion."""
+        o = Octagon.from_constraints(2, [OctConstraint.sum(0, 1, 4.0),
+                                         OctConstraint.lower(0, 0.0)])
+        e = o.expand(0, 1)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            x, y = rng.uniform(-3, 6, 2)
+            if not o.contains_point([x, y]):
+                continue
+            x2 = rng.uniform(-3, 6)
+            if o.contains_point([x2, y]):
+                assert e.contains_point([x, y, x2])
+
+
+class TestFold:
+    def test_fold_is_join_of_bounds(self):
+        o = Octagon.from_box([(0.0, 1.0), (5.0, 9.0), (2.0, 2.0)])
+        f = o.fold([0, 1])
+        assert f.n == 2
+        assert f.bounds(0) == (0.0, 9.0)  # hull of the two folded vars
+        assert f.bounds(1) == (2.0, 2.0)
+
+    def test_fold_keeps_common_relations(self):
+        # Both folded vars are <= z, so the summary is <= z.
+        o = Octagon.from_constraints(3, [OctConstraint.diff(0, 2, 0.0),
+                                         OctConstraint.diff(1, 2, 0.0)])
+        f = o.fold([0, 1])
+        assert f.sat_constraint(OctConstraint.diff(0, 1, 0.0))
+
+    def test_fold_drops_one_sided_relations(self):
+        # Only var 0 is <= z; the summary may be var 1, so no relation.
+        o = Octagon.from_constraints(3, [OctConstraint.diff(0, 2, 0.0)])
+        f = o.fold([0, 1])
+        assert not f.sat_constraint(OctConstraint.diff(0, 1, 1000.0))
+
+    def test_fold_validation(self):
+        with pytest.raises(ValueError):
+            Octagon.top(3).fold([1])
+        with pytest.raises(ValueError):
+            Octagon.top(3).fold([0, 7])
+
+    def test_fold_bottom(self):
+        assert Octagon.bottom(3).fold([0, 1]).is_bottom()
+
+    def test_fold_soundness_by_points(self):
+        """Replacing the summary's value by either folded variable's
+        value stays inside the fold."""
+        o = Octagon.from_constraints(3, [OctConstraint.sum(0, 2, 6.0),
+                                         OctConstraint.upper(1, 3.0)])
+        f = o.fold([0, 1])
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            pt = rng.uniform(-4, 6, 3)
+            if o.contains_point(pt):
+                assert f.contains_point([pt[0], pt[2]])
+                assert f.contains_point([pt[1], pt[2]])
+
+
+class TestExpandFoldInterplay:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1), st.integers(1, 3))
+    def test_fold_after_expand_overapproximates(self, v, k):
+        o = Octagon.from_constraints(2, [OctConstraint.sum(0, 1, 4.0),
+                                         OctConstraint.lower(0, -1.0),
+                                         OctConstraint.upper(1, 3.0)])
+        e = o.expand(v, k)
+        folded = e.fold([v] + list(range(2, 2 + k)))
+        assert o.is_leq(folded)

@@ -1,0 +1,117 @@
+"""Fixpoint engine tests: convergence, widening, narrowing."""
+
+import pytest
+
+from repro.analysis import FixpointEngine
+from repro.core import INF
+from repro.domains import get_domain
+from repro.frontend import build_cfg, parse_program
+
+
+def solve(source, domain="octagon", **kwargs):
+    proc = parse_program(source).procedures[0]
+    cfg = build_cfg(proc)
+    engine = FixpointEngine(**kwargs)
+    return cfg, engine.analyze(cfg, get_domain(domain))
+
+
+class TestStraightLine:
+    def test_constant_propagates(self):
+        cfg, fix = solve("x = 1; y = x + 2;")
+        state = fix.at(cfg.exit)
+        assert state.bounds(0) == (1.0, 1.0)
+        assert state.bounds(1) == (3.0, 3.0)
+
+    def test_branch_join(self):
+        cfg, fix = solve("havoc(c); if (c > 0) { x = 1; } else { x = 5; }")
+        state = fix.at(cfg.exit)
+        assert state.bounds(1) == (1.0, 5.0)
+
+    def test_unreachable_is_bottom(self):
+        cfg, fix = solve("assume(false); x = 1;")
+        assert fix.at(cfg.exit).is_bottom()
+
+
+class TestLoops:
+    def test_simple_counter(self):
+        cfg, fix = solve("i = 0; while (i < 10) { i = i + 1; }")
+        state = fix.at(cfg.exit)
+        assert state.bounds(0) == (10.0, 10.0)
+
+    def test_widening_finds_invariant(self):
+        """Unbounded loop: widening must blow the upper bound to inf
+        while the narrowing pass keeps the exit bound precise."""
+        cfg, fix = solve("i = 0; n = [0, 100]; while (i < n) { i = i + 1; }")
+        state = fix.at(cfg.exit)
+        lo, hi = state.bounds(0)
+        assert lo == 0.0
+        assert hi <= 100.0  # narrowing recovered the bound at exit
+
+    def test_widening_counter_increments(self):
+        cfg, fix = solve("i = 0; while (i < 10) { i = i + 1; }",
+                         widening_delay=0)
+        assert fix.widenings > 0
+        assert fix.at(cfg.exit).bounds(0)[0] >= 0.0
+
+    def test_nested_loop_converges(self):
+        cfg, fix = solve("""
+            i = 0;
+            while (i < 5) {
+              j = 0;
+              while (j < 5) { j = j + 1; }
+              i = i + 1;
+            }
+        """)
+        state = fix.at(cfg.exit)
+        assert state.bounds(0) == (5.0, 5.0)
+
+    def test_relational_loop_invariant(self):
+        """The octagon keeps y >= x through the paper's Fig. 2 loop."""
+        cfg, fix = solve("""
+            x = 1; y = x; m = [0, 20];
+            while (x <= m) { x = x + 1; y = y + x; }
+        """)
+        from repro.core.constraints import LinExpr
+        state = fix.at(cfg.exit)
+        lo, _ = state.bound_linexpr(LinExpr({1: 1.0, 0: -1.0}))  # y - x
+        assert lo >= 0.0
+
+    def test_interval_domain_converges_too(self):
+        cfg, fix = solve("i = 0; while (i < 10) { i = i + 1; }",
+                         domain="interval")
+        assert fix.at(cfg.exit).bounds(0) == (10.0, 10.0)
+
+    def test_apron_domain_matches_octagon(self):
+        src = "i = 0; s = 0; while (i < 8) { i = i + 1; s = s + i; }"
+        cfg_o, fix_o = solve(src, domain="octagon")
+        cfg_a, fix_a = solve(src, domain="apron")
+        assert fix_o.at(cfg_o.exit).to_box() == fix_a.at(cfg_a.exit).to_box()
+
+
+class TestKnobs:
+    def test_thresholds_keep_bound(self):
+        src = "i = 0; while (i < 1000) { i = i + 1; }"
+        cfg, fix = solve(src, widening_delay=0, narrowing_steps=0,
+                         widening_thresholds=(1001.0,))
+        hi = fix.at(cfg.exit).bounds(0)[1]
+        assert hi <= 1001.0
+
+    def test_no_narrowing_loses_bound(self):
+        src = "i = 0; while (i < 1000) { i = i + 1; }"
+        cfg, fix = solve(src, widening_delay=0, narrowing_steps=0)
+        head = next(iter(cfg.loop_heads))
+        assert fix.at(head).bounds(0)[1] == INF
+
+    def test_max_iterations_guard(self):
+        with pytest.raises(RuntimeError):
+            solve("i = 0; while (i < 10) { i = i + 1; }",
+                  max_iterations=2)
+
+    def test_entry_state_respected(self):
+        proc = parse_program("y = x + 1;").procedures[0]
+        cfg = build_cfg(proc)
+        factory = get_domain("octagon")
+        # Variable order is first-occurrence: y is 0, x is 1.
+        pre = factory.from_box([(-INF, INF), (5.0, 6.0)])
+        fix = FixpointEngine().analyze(cfg, factory, entry_state=pre)
+        assert fix.at(cfg.exit).bounds(0) == (6.0, 7.0)

@@ -1,0 +1,83 @@
+"""Tests for the APRON-layout flat half-matrix storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from dbm_strategies import coherent_dbms
+from repro.core.bounds import INF
+from repro.core.densemat import is_coherent
+from repro.core.halfmat import HalfMat
+from repro.core.indexing import half_size
+
+
+class TestConstruction:
+    def test_top_has_zero_diagonal(self):
+        m = HalfMat(3)
+        assert len(m.data) == half_size(3)
+        for i in range(6):
+            assert m.get(i, i) == 0.0
+        assert m.get(0, 1) == INF
+        assert m.count_finite() == 6
+
+    def test_fill_top_resets(self):
+        m = HalfMat(2)
+        m.set(0, 1, 3.0)
+        m.fill_top()
+        assert m.get(0, 1) == INF
+        assert m.get(2, 2) == 0.0
+
+
+class TestAccess:
+    def test_set_get_through_coherence(self):
+        m = HalfMat(2)
+        # (0, 2) is in the upper triangle; it aliases (3, 1).
+        m.set(0, 2, 7.0)
+        assert m.get(0, 2) == 7.0
+        assert m.get(3, 1) == 7.0
+
+    def test_min_set_only_tightens(self):
+        m = HalfMat(1)
+        m.min_set(1, 0, 5.0)
+        assert m.get(1, 0) == 5.0
+        m.min_set(1, 0, 9.0)
+        assert m.get(1, 0) == 5.0
+        m.min_set(1, 0, 2.0)
+        assert m.get(1, 0) == 2.0
+
+    def test_iter_entries_covers_half(self):
+        m = HalfMat(2)
+        coords = [(i, j) for i, j, _ in m.iter_entries()]
+        assert len(coords) == half_size(2)
+        assert len(set(coords)) == half_size(2)
+
+
+class TestConversions:
+    @given(coherent_dbms())
+    def test_full_roundtrip(self, full):
+        half = HalfMat.from_full(full)
+        back = half.to_full()
+        assert np.array_equal(
+            np.where(np.isinf(full), 1e300, full),
+            np.where(np.isinf(back), 1e300, back))
+        assert is_coherent(back)
+
+    def test_from_full_rejects_odd_shapes(self):
+        with pytest.raises(ValueError):
+            HalfMat.from_full(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            HalfMat.from_full(np.zeros((2, 4)))
+
+
+class TestEquality:
+    def test_copy_is_deep(self):
+        m = HalfMat(2)
+        c = m.copy()
+        c.set(1, 0, 1.0)
+        assert m.get(1, 0) == INF
+        assert m != c
+        assert m == m.copy()
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(HalfMat(1))

@@ -1,0 +1,92 @@
+"""Unit and property tests for half-matrix index arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.indexing import (
+    bar,
+    cap,
+    expand_vars,
+    full_dim,
+    half_size,
+    in_lower,
+    iter_half,
+    matpos,
+    matpos2,
+    var_minus,
+    var_of_index,
+    var_plus,
+)
+
+dims = st.integers(min_value=1, max_value=40)
+
+
+class TestBasics:
+    def test_bar_is_involution(self):
+        for i in range(64):
+            assert bar(bar(i)) == i
+            assert bar(i) in (i - 1, i + 1)
+
+    def test_cap(self):
+        assert cap(0) == 1
+        assert cap(1) == 1
+        assert cap(6) == 7
+        assert cap(7) == 7
+
+    @given(dims)
+    def test_sizes(self, n):
+        assert half_size(n) == 2 * n * n + 2 * n
+        assert full_dim(n) == 2 * n
+
+    def test_var_index_maps(self):
+        assert var_plus(3) == 6
+        assert var_minus(3) == 7
+        assert var_of_index(6) == 3
+        assert var_of_index(7) == 3
+
+    def test_expand_vars(self):
+        assert expand_vars([1, 3]) == [2, 3, 6, 7]
+        assert expand_vars([]) == []
+
+
+class TestMatpos:
+    @given(dims)
+    def test_offsets_are_a_bijection_on_the_half(self, n):
+        seen = set()
+        for i, j in iter_half(n):
+            p = matpos(i, j)
+            assert 0 <= p < half_size(n)
+            assert p not in seen
+            seen.add(p)
+        assert len(seen) == half_size(n)
+
+    @given(dims, st.data())
+    def test_matpos2_redirects_through_coherence(self, n, data):
+        dim = 2 * n
+        i = data.draw(st.integers(0, dim - 1))
+        j = data.draw(st.integers(0, dim - 1))
+        p = matpos2(i, j)
+        q = matpos2(j ^ 1, i ^ 1)
+        if i == j:
+            # Diagonal entries are the one exception: O[2k,2k] and its
+            # coherent duplicate O[2k+1,2k+1] occupy two distinct slots
+            # (both trivially zero).
+            assert q == matpos2(i ^ 1, i ^ 1)
+        else:
+            # Every off-diagonal entry shares its slot with its mirror.
+            assert p == q
+
+    def test_in_lower(self):
+        assert in_lower(0, 0)
+        assert in_lower(0, 1)  # j <= i|1
+        assert not in_lower(0, 2)
+        assert in_lower(5, 5)
+        assert in_lower(4, 5)
+        assert not in_lower(4, 6)
+
+    @given(dims)
+    def test_iter_half_matches_in_lower(self, n):
+        from_iter = set(iter_half(n))
+        explicit = {(i, j) for i in range(2 * n) for j in range(2 * n)
+                    if in_lower(i, j)}
+        assert from_iter == explicit

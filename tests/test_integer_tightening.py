@@ -1,0 +1,98 @@
+"""Tests for the integer-tightening extension (Mine 2006)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Octagon, OctConstraint
+
+
+def build_random(rng, n):
+    o = Octagon.top(n)
+    for _ in range(int(rng.integers(1, 6))):
+        v, w = rng.integers(0, n, 2)
+        c = float(rng.integers(-4, 9)) + float(rng.choice([0.0, 0.5]))
+        if v == w:
+            cons = (OctConstraint.upper(int(v), c) if rng.random() < 0.5
+                    else OctConstraint.lower(int(v), c))
+        else:
+            cons = OctConstraint(int(v), int(rng.choice([-1, 1])),
+                                 int(w), int(rng.choice([-1, 1])), c)
+        o = o.meet_constraint(cons)
+    return o
+
+
+class TestBasics:
+    def test_fractional_unary_bound_floors(self):
+        o = Octagon.from_constraints(1, [OctConstraint.upper(0, 1.5)])
+        t = o.tighten_integers()
+        assert t.bounds(0)[1] == 1.0
+
+    def test_fractional_lower_bound(self):
+        # x >= 0.5 over the integers means x >= 1.
+        o = Octagon.from_constraints(1, [OctConstraint.lower(0, 0.5)])
+        t = o.tighten_integers()
+        assert t.bounds(0)[0] == 1.0
+
+    def test_exposes_integer_emptiness(self):
+        # 0.4 <= x <= 0.6 has real solutions but no integer ones.
+        o = Octagon.from_constraints(1, [OctConstraint.upper(0, 0.6),
+                                         OctConstraint.lower(0, 0.4)])
+        assert not o.is_bottom()
+        assert o.tighten_integers().is_bottom()
+
+    def test_binary_bound_floors(self):
+        o = Octagon.from_constraints(2, [OctConstraint.sum(0, 1, 4.7)])
+        t = o.tighten_integers()
+        assert t.sat_constraint(OctConstraint.sum(0, 1, 4.0))
+
+    def test_on_bottom_and_integral(self):
+        assert Octagon.bottom(2).tighten_integers().is_bottom()
+        o = Octagon.from_box([(0.0, 3.0)])
+        assert o.tighten_integers().bounds(0) == (0.0, 3.0)
+
+    def test_strengthening_after_tightening(self):
+        # x <= 1.5 and y <= 1.5: over Z, x + y <= 2 (not 3).
+        o = Octagon.from_constraints(2, [OctConstraint.upper(0, 1.5),
+                                         OctConstraint.upper(1, 1.5)])
+        t = o.tighten_integers()
+        assert t.sat_constraint(OctConstraint.sum(0, 1, 2.0))
+
+
+class TestSoundness:
+    def test_integer_points_preserved(self):
+        rng = np.random.default_rng(17)
+        for _ in range(120):
+            n = int(rng.integers(1, 4))
+            o = build_random(rng, n)
+            t = o.tighten_integers()
+            for pt in itertools.product(range(-6, 10), repeat=n):
+                point = list(map(float, pt))
+                if o.contains_point(point):
+                    assert not t.is_bottom()
+                    assert t.contains_point(point), (o.pretty(), t.pretty(), pt)
+
+    def test_result_is_tighter_or_equal(self):
+        rng = np.random.default_rng(23)
+        for _ in range(60):
+            o = build_random(rng, 3)
+            t = o.tighten_integers()
+            assert t.is_leq(o)
+
+
+class TestPretty:
+    def test_pretty_top_bottom(self):
+        assert Octagon.top(2).pretty() == "true"
+        assert Octagon.bottom(2).pretty() == "false"
+
+    def test_pretty_with_names(self):
+        o = Octagon.from_constraints(2, [OctConstraint.diff(0, 1, 3.0)])
+        text = o.pretty(names=["x", "y"])
+        assert "+x -y <= 3" in text
+
+    def test_pretty_unary(self):
+        o = Octagon.from_constraints(1, [OctConstraint.upper(0, 2.0)])
+        assert "+v0 <= 2" in o.pretty()

@@ -1,0 +1,139 @@
+"""Tests for the Interval (box) domain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import INF
+from repro.core.constraints import LinExpr, OctConstraint
+from repro.domains import Interval
+
+
+@st.composite
+def boxes(draw, n=3):
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return Interval.top(n)
+    if kind == 1:
+        return Interval.bottom(n)
+    bounds = []
+    for _ in range(n):
+        lo = draw(st.one_of(st.just(-INF), st.integers(-10, 10).map(float)))
+        width = draw(st.one_of(st.just(INF), st.integers(0, 10).map(float)))
+        hi = INF if (lo == -INF and width == INF) else (
+            INF if width == INF else lo + width if lo != -INF else draw(
+                st.integers(-10, 10).map(float)))
+        bounds.append((lo, hi))
+    return Interval.from_box(bounds)
+
+
+SET = settings(max_examples=50, deadline=None)
+
+
+class TestBasics:
+    def test_top_bottom(self):
+        assert Interval.top(2).is_top()
+        assert Interval.bottom(2).is_bottom()
+        assert not Interval.top(2).is_bottom()
+
+    def test_from_box_detects_empty(self):
+        assert Interval.from_box([(1.0, 0.0)]).is_bottom()
+
+    def test_bounds(self):
+        b = Interval.from_box([(1.0, 2.0), (-INF, 0.0)])
+        assert b.bounds(0) == (1.0, 2.0)
+        assert b.bounds(1) == (-INF, 0.0)
+
+    def test_close_is_noop(self):
+        b = Interval.top(1)
+        assert b.close() is b
+
+
+class TestLattice:
+    @SET
+    @given(boxes(), boxes())
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.is_leq(j) and b.is_leq(j)
+
+    @SET
+    @given(boxes(), boxes())
+    def test_meet_lower_bound(self, a, b):
+        m = a.meet(b)
+        assert m.is_leq(a) and m.is_leq(b)
+
+    @SET
+    @given(boxes(), boxes())
+    def test_widening_covers_join(self, a, b):
+        assert a.join(b).is_leq(a.widening(b))
+
+    @SET
+    @given(boxes())
+    def test_eq_reflexive(self, a):
+        assert a.is_eq(a.copy())
+
+    def test_widening_blows_unstable_bounds(self):
+        a = Interval.from_box([(0.0, 1.0)])
+        b = Interval.from_box([(0.0, 2.0)])
+        w = a.widening(b)
+        assert w.bounds(0) == (0.0, INF)
+
+    def test_narrowing_refines_infinite(self):
+        a = Interval.from_box([(0.0, INF)])
+        b = Interval.from_box([(0.0, 5.0)])
+        assert a.narrowing(b).bounds(0) == (0.0, 5.0)
+
+
+class TestTransfer:
+    def test_assign_linexpr(self):
+        b = Interval.from_box([(1.0, 2.0), (0.0, 0.0)])
+        b = b.assign_linexpr(1, LinExpr({0: 2.0}, 1.0))
+        assert b.bounds(1) == (3.0, 5.0)
+
+    def test_assume_linear_tightens(self):
+        b = Interval.from_box([(0.0, 10.0)]).assume_linear(LinExpr({0: 1.0}, -4.0))
+        assert b.bounds(0) == (0.0, 4.0)
+
+    def test_assume_with_negative_coeff(self):
+        b = Interval.from_box([(0.0, 10.0)]).assume_linear(LinExpr({0: -1.0}, 3.0))
+        # -x + 3 <= 0  =>  x >= 3.
+        assert b.bounds(0) == (3.0, 10.0)
+
+    def test_assume_contradiction(self):
+        b = Interval.from_box([(5.0, 6.0)]).assume_linear(LinExpr({0: 1.0}, 0.0))
+        assert b.is_bottom()
+
+    def test_assume_constant_false(self):
+        assert Interval.top(1).assume_linear(LinExpr({}, 2.0)).is_bottom()
+
+    def test_meet_constraint_binary(self):
+        b = Interval.from_box([(0.0, 10.0), (0.0, 3.0)])
+        b = b.meet_constraint(OctConstraint.sum(0, 1, 5.0))
+        assert b.bounds(0) == (0.0, 5.0)  # x <= 5 - y <= 5
+
+    def test_forget(self):
+        b = Interval.from_box([(1.0, 2.0)]).forget(0)
+        assert b.bounds(0) == (-INF, INF)
+
+    def test_contains_point(self):
+        b = Interval.from_box([(0.0, 1.0), (2.0, 3.0)])
+        assert b.contains_point([0.5, 2.5])
+        assert not b.contains_point([0.5, 4.0])
+
+
+class TestPrecisionVsOctagon:
+    def test_box_loses_relational_info(self):
+        """The motivating contrast: octagons track x <= y, boxes cannot."""
+        from repro.core import Octagon
+        oct_ = Octagon.from_box([(0.0, 10.0), (0.0, 10.0)]).assume_linear(
+            LinExpr({0: 1.0, 1: -1.0}))
+        box = Interval.from_box([(0.0, 10.0), (0.0, 10.0)]).assume_linear(
+            LinExpr({0: 1.0, 1: -1.0}))
+        # After y := y - 5 both domains update y; only the octagon still
+        # knows x - y <= 5.
+        oct_ = oct_.assign_linexpr(1, LinExpr({1: 1.0}, -5.0))
+        box = box.assign_linexpr(1, LinExpr({1: 1.0}, -5.0))
+        lo_oct, hi_oct = oct_.bound_linexpr(LinExpr({0: 1.0, 1: -1.0}))
+        lo_box, hi_box = box.bound_linexpr(LinExpr({0: 1.0, 1: -1.0}))
+        assert hi_oct == 5.0
+        assert hi_box > hi_oct

@@ -1,0 +1,45 @@
+"""Tests for the DBM kind policy (paper section 3.5)."""
+
+import pytest
+
+from repro.core.indexing import half_size
+from repro.core.kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
+
+
+class TestSparsityThreshold:
+    def test_paper_default(self):
+        assert DEFAULT_POLICY.threshold == 0.75
+        assert DEFAULT_POLICY.decompose
+
+    def test_is_sparse_boundary(self):
+        policy = SwitchPolicy(threshold=0.75)
+        n = 10
+        size = half_size(n)
+        # D = 1 - nni/size >= 0.75  <=>  nni <= size/4.
+        assert policy.is_sparse(size // 4, n)
+        assert not policy.is_sparse(size // 2, n)
+
+    def test_zero_vars(self):
+        assert not SwitchPolicy().is_sparse(0, 0)
+
+
+class TestKindSelection:
+    def test_no_components_is_top(self):
+        assert SwitchPolicy().kind_for(10, 5, 0) == DbmKind.TOP
+
+    def test_multi_component_is_decomposed(self):
+        assert SwitchPolicy().kind_for(10, 5, 3) == DbmKind.DECOMPOSED
+
+    def test_single_component_density_split(self):
+        policy = SwitchPolicy(threshold=0.75)
+        n = 10
+        assert policy.kind_for(half_size(n), n, 1) == DbmKind.DENSE
+        assert policy.kind_for(2 * n, n, 1) == DbmKind.SPARSE
+
+    def test_decompose_off_forces_dense(self):
+        policy = SwitchPolicy(decompose=False)
+        assert policy.kind_for(2, 10, 5) == DbmKind.DENSE
+        assert policy.kind_for(2, 10, 0) == DbmKind.TOP
+
+    def test_str(self):
+        assert str(DbmKind.DECOMPOSED) == "decomposed"

@@ -1,0 +1,57 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, Token, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_simple_assignment(self):
+        assert kinds_and_texts("x = 1;") == [
+            ("ident", "x"), ("op", "="), ("num", "1"), ("op", ";")]
+
+    def test_keywords_vs_idents(self):
+        toks = kinds_and_texts("while whilex if iffy")
+        assert toks == [("kw", "while"), ("ident", "whilex"),
+                        ("kw", "if"), ("ident", "iffy")]
+
+    def test_two_char_operators(self):
+        toks = kinds_and_texts("a <= b >= c == d != e && f || g")
+        ops = [t for k, t in toks if k == "op"]
+        assert ops == ["<=", ">=", "==", "!=", "&&", "||"]
+
+    def test_numbers(self):
+        toks = kinds_and_texts("0 12 3.5 0.25")
+        assert [t for _, t in toks] == ["0", "12", "3.5", "0.25"]
+
+    def test_underscored_identifiers(self):
+        assert kinds_and_texts("_x x_1")[0] == ("ident", "_x")
+
+    def test_comments_stripped(self):
+        toks = kinds_and_texts("x = 1; // the rest\n# also this\ny = 2;")
+        assert ("ident", "y") in toks
+        assert all("rest" not in t for _, t in toks)
+
+    def test_positions(self):
+        toks = tokenize("a\n  bb")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("x = $;")
+        assert "line 1" in str(exc.value)
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok = 1;\n   @")
+        assert exc.value.line == 2

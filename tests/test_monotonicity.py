@@ -1,0 +1,148 @@
+"""Property tests: monotonicity of the abstract transformers.
+
+Abstract interpretation's soundness argument leans on transformers
+being monotone: ``S1 <= S2  ==>  f(S1) <= f(S2)``.  We check this for
+the octagon's transfer functions and lattice operators over random
+ordered pairs (built as ``S`` and ``S`` meet extra constraints, so the
+order holds by construction), plus the soundness conditions of the
+threshold widening.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dbm_strategies import dbm_entries, make_coherent_dbm
+from repro.core import INF, LinExpr, Octagon, OctConstraint
+
+SET = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def ordered_pairs(draw, n=3):
+    """Two octagons with ``small <= big`` by construction."""
+    big = Octagon.from_matrix(make_coherent_dbm(n, draw(dbm_entries(n, 12))))
+    small = big
+    for _ in range(draw(st.integers(1, 4))):
+        v = draw(st.integers(0, n - 1))
+        w = draw(st.integers(0, n - 1))
+        c = float(draw(st.integers(-4, 8)))
+        if v == w:
+            cons = (OctConstraint.upper(v, c) if draw(st.booleans())
+                    else OctConstraint.lower(v, c))
+        else:
+            cons = OctConstraint(v, draw(st.sampled_from([-1, 1])),
+                                 w, draw(st.sampled_from([-1, 1])), c)
+        small = small.meet_constraint(cons)
+    return small, big
+
+
+@st.composite
+def linexprs(draw, n=3):
+    coeffs = draw(st.dictionaries(st.integers(0, n - 1),
+                                  st.sampled_from([-1.0, 1.0, 2.0]),
+                                  max_size=2))
+    return LinExpr(coeffs, float(draw(st.integers(-4, 4))))
+
+
+class TestMonotonicity:
+    @SET
+    @given(ordered_pairs(), st.integers(0, 2), linexprs())
+    def test_assign_monotone(self, pair, v, expr):
+        small, big = pair
+        assert small.assign_linexpr(v, expr).is_leq(big.assign_linexpr(v, expr))
+
+    @SET
+    @given(ordered_pairs(), linexprs())
+    def test_assume_monotone(self, pair, expr):
+        small, big = pair
+        assert small.assume_linear(expr).is_leq(big.assume_linear(expr))
+
+    @SET
+    @given(ordered_pairs(), st.integers(0, 2))
+    def test_forget_monotone(self, pair, v):
+        small, big = pair
+        assert small.forget(v).is_leq(big.forget(v))
+
+    @SET
+    @given(ordered_pairs(), st.integers(0, 2), linexprs())
+    def test_substitute_monotone(self, pair, v, expr):
+        small, big = pair
+        assert small.substitute_linexpr(v, expr).is_leq(
+            big.substitute_linexpr(v, expr))
+
+    @SET
+    @given(ordered_pairs(), ordered_pairs())
+    def test_join_meet_monotone(self, pair_a, pair_b):
+        sa, ba = pair_a
+        sb, bb = pair_b
+        assert sa.join(sb).is_leq(ba.join(bb))
+        assert sa.meet(sb).is_leq(ba.meet(bb))
+
+    @SET
+    @given(ordered_pairs())
+    def test_closure_monotone(self, pair):
+        small, big = pair
+        assert small.closure().is_leq(big.closure())
+
+
+class TestWideningThresholds:
+    @SET
+    @given(ordered_pairs(), st.lists(st.integers(-5, 40).map(float),
+                                     min_size=1, max_size=4, unique=True))
+    def test_covers_join(self, pair, thresholds):
+        a, b = pair  # a <= b
+        w = b.widening_thresholds(a, sorted(thresholds))
+        assert b.join(a).is_leq(w)
+
+    def test_bounds_land_on_thresholds(self):
+        prev = Octagon.from_box([(0.0, 2.0)])
+        nxt = Octagon.from_box([(0.0, 3.0)])
+        w = prev.widening_thresholds(nxt, [10.0, 50.0])
+        # 2*hi grows 4 -> 6; the next threshold is 10 -> hi = 5.
+        assert w.bounds(0)[1] == 5.0
+
+    def test_exhausted_thresholds_go_to_infinity(self):
+        prev = Octagon.from_box([(0.0, 2.0)])
+        nxt = Octagon.from_box([(0.0, 100.0)])
+        w = prev.widening_thresholds(nxt, [10.0])
+        assert w.bounds(0)[1] == INF
+
+    def test_terminates_on_increasing_chain(self):
+        state = Octagon.from_box([(0.0, 0.0)])
+        ts = [8.0, 64.0, 512.0]
+        changes = 0
+        for k in range(1, 2000):
+            nxt = Octagon.from_box([(0.0, float(k))])
+            merged = state.join(nxt)
+            if merged.is_leq(state):
+                continue
+            state = state.widening_thresholds(merged, ts)
+            changes += 1
+        # One change per threshold level plus the final jump to inf.
+        assert changes <= len(ts) + 1
+
+
+class TestNarrowing:
+    @SET
+    @given(ordered_pairs())
+    def test_narrowing_brackets(self, pair):
+        small, big = pair
+        nr = big.narrowing(small)
+        assert small.is_leq(nr)
+        assert nr.is_leq(big)
+
+    def test_narrowing_chain_terminates(self):
+        """Iterated narrowing against a fixed refinement stabilises."""
+        state = Octagon.top(1)
+        target = Octagon.from_box([(0.0, 5.0)])
+        steps = 0
+        while True:
+            nxt = state.narrowing(target)
+            if nxt.is_eq(state):
+                break
+            state = nxt
+            steps += 1
+            assert steps < 10
+        assert state.bounds(0) == (0.0, 5.0)

@@ -1,0 +1,152 @@
+"""Property tests: lattice laws of the Octagon domain."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dbm_strategies import coherent_dbms
+from repro.core import Octagon
+
+
+@st.composite
+def octagons(draw, n=3):
+    """Random octagons of a fixed dimension (possibly bottom/top)."""
+    shape = draw(st.integers(0, 10))
+    if shape == 0:
+        return Octagon.top(n)
+    if shape == 1:
+        return Octagon.bottom(n)
+    from dbm_strategies import dbm_entries, make_coherent_dbm
+    entries = draw(dbm_entries(n, max_entries=18))
+    return Octagon.from_matrix(make_coherent_dbm(n, entries), copy=False)
+
+
+SET = settings(max_examples=50, deadline=None)
+
+
+@SET
+@given(octagons(), octagons())
+def test_join_is_upper_bound(a, b):
+    j = a.join(b)
+    assert a.is_leq(j)
+    assert b.is_leq(j)
+
+
+@SET
+@given(octagons(), octagons())
+def test_meet_is_lower_bound(a, b):
+    m = a.meet(b)
+    assert m.is_leq(a)
+    assert m.is_leq(b)
+
+
+@SET
+@given(octagons(), octagons())
+def test_join_commutes(a, b):
+    assert a.join(b).is_eq(b.join(a))
+
+
+@SET
+@given(octagons(), octagons())
+def test_meet_commutes(a, b):
+    assert a.meet(b).is_eq(b.meet(a))
+
+
+@SET
+@given(octagons())
+def test_join_meet_idempotent(a):
+    assert a.join(a).is_eq(a)
+    assert a.meet(a).is_eq(a)
+
+
+@SET
+@given(octagons(), octagons(), octagons())
+def test_join_associative(a, b, c):
+    assert a.join(b).join(c).is_eq(a.join(b.join(c)))
+
+
+@SET
+@given(octagons(), octagons())
+def test_widening_covers_join(a, b):
+    """a widen b over-approximates a join b."""
+    w = a.widening(b)
+    assert a.join(b).is_leq(w)
+
+
+@SET
+@given(octagons(), octagons())
+def test_narrowing_between(a, b):
+    """If b <= a then b <= (a narrow b) <= a."""
+    if not b.is_leq(a):
+        return
+    nr = a.narrowing(b)
+    assert b.is_leq(nr)
+    assert nr.is_leq(a)
+
+
+@SET
+@given(octagons())
+def test_top_bottom_units(a):
+    n = a.n
+    top, bot = Octagon.top(n), Octagon.bottom(n)
+    assert a.join(bot).is_eq(a)
+    assert a.meet(top).is_eq(a)
+    assert a.join(top).is_top() or a.join(top).is_eq(top)
+    assert a.meet(bot).is_bottom()
+
+
+@SET
+@given(octagons(), octagons())
+def test_inclusion_consistent_with_join(a, b):
+    assert a.is_leq(b) == a.join(b).is_eq(b)
+
+
+@SET
+@given(octagons())
+def test_is_eq_reflexive(a):
+    assert a.is_eq(a)
+    assert a.is_eq(a.copy())
+
+
+def test_widening_terminates_on_increasing_chain():
+    """Widening stabilises every strictly increasing chain in finitely
+    many steps (the classic loop: bound grows by 1 each iteration)."""
+    from repro.core import OctConstraint
+    state = Octagon.from_box([(0.0, 0.0)])
+    steps = 0
+    for k in range(1, 200):
+        nxt = Octagon.from_box([(0.0, float(k))])
+        merged = state.join(nxt)
+        if merged.is_leq(state):
+            break
+        state = state.widening(merged)
+        steps += 1
+        if state.bounds(0)[1] == float("inf"):
+            break
+    assert steps <= 3, f"widening took {steps} steps to stabilise"
+
+
+def test_widening_partition_intersection():
+    """The paper: widening induces intersection on component sets."""
+    from repro.core import OctConstraint
+    a = (Octagon.top(4)
+         .meet_constraint(OctConstraint.diff(0, 1, 1.0))
+         .meet_constraint(OctConstraint.diff(2, 3, 1.0)))
+    b = Octagon.top(4).meet_constraint(OctConstraint.diff(0, 1, 2.0))
+    w = a.widening(b)
+    assert w.partition.support <= {0, 1}
+
+
+@SET
+@given(octagons(), octagons())
+def test_widening_sequence_stabilises(a, b):
+    """Iterating x := x widen (x join b) reaches a post-fixpoint fast."""
+    x = a
+    for _ in range(10):
+        nxt = x.widening(x.join(b))
+        if nxt.is_leq(x) and x.is_leq(nxt):
+            break
+        x = nxt
+    else:
+        raise AssertionError("widening did not stabilise within 10 steps")
+    assert b.is_leq(x)

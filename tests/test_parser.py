@@ -1,0 +1,146 @@
+"""Parser tests: grammar coverage, precedence, errors and the
+pretty-printer round trip."""
+
+import pytest
+
+from repro.frontend import (
+    Assert, Assign, AssignInterval, Assume, BinOp, Block, BoolOp, Cmp,
+    Havoc, If, Not, Num, ParseError, Skip, Var, While, parse_program,
+    pretty,
+)
+from repro.frontend.ast_nodes import collect_variables
+from repro.frontend.parser import parse_procedure
+
+
+def main_stmts(source):
+    return parse_program(source).procedures[0].body.statements
+
+
+class TestStatements:
+    def test_assignment(self):
+        (stmt,) = main_stmts("x = y + 1;")
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.expr, BinOp)
+
+    def test_interval_assignment(self):
+        (stmt,) = main_stmts("x = [0, 10];")
+        assert isinstance(stmt, AssignInterval)
+        assert (stmt.lo, stmt.hi) == (0.0, 10.0)
+
+    def test_interval_with_negative_constant(self):
+        (stmt,) = main_stmts("x = [-3, 2 + 1];")
+        assert (stmt.lo, stmt.hi) == (-3.0, 3.0)
+
+    def test_havoc_assume_assert_skip(self):
+        stmts = main_stmts("havoc(x); assume(x > 0); assert(x >= 0); skip;")
+        assert [type(s) for s in stmts] == [Havoc, Assume, Assert, Skip]
+
+    def test_if_else(self):
+        (stmt,) = main_stmts("if (x < 1) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, If)
+        assert stmt.else_body is not None
+
+    def test_else_if_chain(self):
+        (stmt,) = main_stmts(
+            "if (x == 0) { y = 0; } else if (x == 1) { y = 1; } else { y = 2; }")
+        inner = stmt.else_body.statements[0]
+        assert isinstance(inner, If)
+        assert inner.else_body is not None
+
+    def test_while(self):
+        (stmt,) = main_stmts("while (i < n) { i = i + 1; }")
+        assert isinstance(stmt, While)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        (stmt,) = main_stmts("x = 1 + 2 * 3;")
+        assert isinstance(stmt.expr, BinOp) and stmt.expr.op == "+"
+        assert stmt.expr.right.op == "*"
+
+    def test_left_associativity(self):
+        (stmt,) = main_stmts("x = a - b - c;")
+        assert stmt.expr.op == "-"
+        assert isinstance(stmt.expr.left, BinOp)
+        assert isinstance(stmt.expr.right, Var)
+
+    def test_parenthesised_arithmetic_in_comparison(self):
+        (stmt,) = main_stmts("assume((x + 1) < y);")
+        assert isinstance(stmt.cond, Cmp)
+
+    def test_division_folds_to_multiplication(self):
+        (stmt,) = main_stmts("x = y / 2;")
+        assert stmt.expr.op == "*"
+        assert stmt.expr.right.value == 0.5
+
+    def test_boolean_precedence(self):
+        (stmt,) = main_stmts("assume(a < 1 && b < 2 || c < 3);")
+        assert isinstance(stmt.cond, BoolOp) and stmt.cond.op == "||"
+        assert stmt.cond.left.op == "&&"
+
+    def test_negation(self):
+        (stmt,) = main_stmts("assume(!(x < 1));")
+        assert isinstance(stmt.cond, Not)
+
+    def test_boolean_literals(self):
+        stmts = main_stmts("assume(true); assume(false);")
+        assert stmts[0].cond.value is True
+        assert stmts[1].cond.value is False
+
+
+class TestPrograms:
+    def test_implicit_main(self):
+        program = parse_program("x = 1;")
+        assert [p.name for p in program.procedures] == ["main"]
+
+    def test_multi_procedure(self):
+        program = parse_program("proc f { x = 1; } proc g { y = 2; }")
+        assert [p.name for p in program.procedures] == ["f", "g"]
+        assert program.procedure("g").variables == ["y"]
+
+    def test_variable_collection_order(self):
+        proc = parse_program("x = 1; y = x + z;").procedures[0]
+        assert proc.variables == ["x", "y", "z"]
+
+    def test_parse_procedure_helper(self):
+        proc = parse_procedure("a = 1;", name="solo")
+        assert proc.name == "solo"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "x = ;", "x = 1", "if x < 1 { }", "while (x) { }",
+        "x = [y, 2];", "x = 1 % 2;", "x = y / 0;", "proc { }",
+        "assume(x <);", "1 = x;",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_program(bad)
+
+    def test_error_message_has_position(self):
+        # '@' is rejected by the lexer; both front-end errors are
+        # ValueErrors with positions.
+        with pytest.raises(ValueError) as exc:
+            parse_program("x = @;")
+        assert "line" in str(exc.value)
+
+
+class TestPrettyRoundtrip:
+    SOURCES = [
+        "x = 1;",
+        "x = [0, 5];",
+        "havoc(q);",
+        "assume(x + 1 <= y * 2);",
+        "assert(a >= b);",
+        "if (x < 1 && y > 2) { z = 3; } else { skip; }",
+        "while (i <= n) { i = i + 1; s = s + i; }",
+        "proc f { x = -1; } proc g { while (true) { x = x - 1; } }",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_roundtrip(self, source):
+        program = parse_program(source)
+        printed = pretty(program)
+        reparsed = parse_program(printed)
+        assert pretty(reparsed) == printed

@@ -1,0 +1,106 @@
+"""Tests for octagon and report serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from dbm_strategies import coherent_dbms
+from repro.core import ApronOctagon, Octagon, OctConstraint
+from repro.core.serialize import (
+    analysis_report,
+    octagon_from_dict,
+    octagon_from_json,
+    octagon_load_npz,
+    octagon_save_npz,
+    octagon_to_dict,
+    octagon_to_json,
+)
+
+
+class TestJsonRoundtrip:
+    def test_simple(self):
+        o = Octagon.from_constraints(2, [OctConstraint.sum(0, 1, 5.0),
+                                         OctConstraint.upper(0, 1.0)])
+        back = octagon_from_json(octagon_to_json(o))
+        assert back.is_eq(o)
+
+    def test_top_and_bottom(self):
+        assert octagon_from_json(octagon_to_json(Octagon.top(3))).is_top()
+        assert octagon_from_json(octagon_to_json(Octagon.bottom(3))).is_bottom()
+
+    @settings(max_examples=40, deadline=None)
+    @given(coherent_dbms())
+    def test_random_roundtrip(self, m):
+        o = Octagon.from_matrix(m)
+        back = octagon_from_json(octagon_to_json(o))
+        assert back.is_eq(o)
+
+    def test_cross_implementation(self):
+        """JSON produced from the optimised octagon loads into the
+        baseline (and vice versa) with identical meaning."""
+        o = Octagon.from_constraints(3, [OctConstraint.diff(0, 1, 2.0),
+                                         OctConstraint.lower(2, -1.0)])
+        apron = octagon_from_json(octagon_to_json(o), cls=ApronOctagon)
+        assert isinstance(apron, ApronOctagon)
+        assert apron.to_box() == o.to_box()
+        back = octagon_from_json(octagon_to_json(apron), cls=Octagon)
+        assert back.is_eq(o)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            octagon_from_dict({"version": 99, "n": 1, "constraints": []})
+
+    def test_json_is_textual_and_finite(self):
+        o = Octagon.from_box([(0.0, 1.0), (-float("inf"), float("inf"))])
+        text = octagon_to_json(o)
+        json.loads(text)
+        assert "Infinity" not in text
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        o = Octagon.from_constraints(4, [OctConstraint.sum(0, 3, 9.0)])
+        path = tmp_path / "oct.npz"
+        octagon_save_npz(o, str(path))
+        back = octagon_load_npz(str(path))
+        assert back.is_eq(o)
+        assert np.array_equal(np.isinf(back.mat), np.isinf(o.mat))
+
+    def test_bottom(self, tmp_path):
+        path = tmp_path / "bot.npz"
+        octagon_save_npz(Octagon.bottom(2), str(path))
+        assert octagon_load_npz(str(path)).is_bottom()
+
+    def test_closed_flag_preserved(self, tmp_path):
+        o = Octagon.from_box([(0.0, 2.0)]).closure()
+        path = tmp_path / "closed.npz"
+        octagon_save_npz(o, str(path))
+        assert octagon_load_npz(str(path)).closed
+
+
+class TestAnalysisReport:
+    def test_report_structure(self):
+        from repro.analysis.analyzer import analyze_source
+        result = analyze_source(
+            "proc p { x = [0, 4]; assert(x >= 0); assert(x >= 2); }")
+        report = analysis_report(result)
+        assert report["checks_total"] == 2
+        assert report["checks_verified"] == 1
+        (proc,) = report["procedures"]
+        assert proc["name"] == "p"
+        assert proc["exit_box"]["x"] == [0.0, 4.0]
+        json.dumps(report)  # must be JSON-able
+
+    def test_unreachable_exit(self):
+        from repro.analysis.analyzer import analyze_source
+        result = analyze_source("assume(false);")
+        report = analysis_report(result)
+        assert report["procedures"][0]["exit_reachable"] is False
+
+    def test_unbounded_variables_are_null(self):
+        from repro.analysis.analyzer import analyze_source
+        result = analyze_source("havoc(x);")
+        report = analysis_report(result)
+        assert report["procedures"][0]["exit_box"]["x"] == [None, None]

@@ -1,0 +1,85 @@
+"""Tests for the instrumentation layer."""
+
+import time
+
+from repro.core import Octagon, OctConstraint
+from repro.core.stats import (
+    ClosureRecord,
+    OpCounter,
+    StatsCollector,
+    active_collector,
+    collecting,
+    record_closure,
+    timed_op,
+)
+
+
+class TestCollector:
+    def test_nesting_restores_previous(self):
+        assert active_collector() is None
+        with collecting() as outer:
+            assert active_collector() is outer
+            with collecting() as inner:
+                assert active_collector() is inner
+            assert active_collector() is outer
+        assert active_collector() is None
+
+    def test_timed_op_accumulates(self):
+        with collecting() as col:
+            with timed_op("join"):
+                time.sleep(0.001)
+            with timed_op("join"):
+                pass
+        assert col.op_calls["join"] == 2
+        assert col.op_seconds["join"] > 0
+
+    def test_no_collector_is_noop(self):
+        with timed_op("whatever"):
+            pass
+        record_closure(3, "dense", 0.1)
+
+    def test_closure_stats(self):
+        col = StatsCollector()
+        col.record_closure(ClosureRecord(5, "dense", 0.1))
+        col.record_closure(ClosureRecord(9, "decomposed", 0.2, components=3))
+        col.record_closure(ClosureRecord(2, "incremental", 0.05))
+        stats = col.closure_stats()
+        assert stats == {"nmin": 5, "nmax": 9, "closures": 2, "incremental": 1}
+        assert col.closure_seconds == 0.1 + 0.2  # incremental excluded
+        assert len(col.full_closures) == 2
+
+    def test_empty_stats(self):
+        assert StatsCollector().closure_stats()["closures"] == 0
+
+
+class TestCapture:
+    def test_closure_inputs_captured(self):
+        with collecting() as col:
+            col.capture_closure_inputs = True
+            o = Octagon.from_constraints(3, [OctConstraint.diff(0, 1, 2.0)])
+            o.closure()
+        assert len(col.closure_inputs) == 1
+        mat, blocks = col.closure_inputs[0]
+        assert mat.shape == (6, 6)
+        assert blocks == [[0, 1]]
+
+    def test_capture_off_by_default(self):
+        with collecting() as col:
+            Octagon.from_constraints(2, [OctConstraint.upper(0, 1.0)]).closure()
+        assert col.closure_inputs == []
+
+    def test_octagon_close_records_event(self):
+        with collecting() as col:
+            Octagon.from_constraints(2, [OctConstraint.upper(0, 1.0)]).closure()
+        assert col.closure_stats()["closures"] == 1
+        assert col.closures[0].n == 2
+
+
+class TestOpCounter:
+    def test_tick_and_reset(self):
+        counter = OpCounter()
+        counter.tick()
+        counter.tick(10)
+        assert counter.mins == 11
+        counter.reset()
+        assert counter.mins == 0

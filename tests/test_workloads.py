@@ -1,0 +1,118 @@
+"""Tests for the benchmark workload suite."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.workloads import (
+    BENCHMARKS,
+    fig2_program,
+    gen_cpa_like,
+    gen_dizy_like,
+    gen_dps_like,
+    gen_tb_like,
+    get_benchmark,
+    load_suite,
+    run_workload,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen,kwargs", [
+        (gen_cpa_like, dict(n_vars=5, n_loops=2, stmts_per_loop=4)),
+        (gen_tb_like, dict(n_groups=2, group_size=3)),
+        (gen_dps_like, dict(proc_sizes=[3, 5])),
+        (gen_dizy_like, dict(n_procs=3, max_vars=5)),
+    ])
+    def test_generated_source_parses(self, gen, kwargs):
+        source = gen(42, **kwargs)
+        program = parse_program(source)
+        assert program.procedures
+
+    @pytest.mark.parametrize("gen", [gen_cpa_like, gen_tb_like,
+                                     gen_dps_like, gen_dizy_like])
+    def test_deterministic(self, gen):
+        assert gen(7) == gen(7)
+        assert gen(7) != gen(8)
+
+    def test_fig2_program(self):
+        program = parse_program(fig2_program())
+        assert program.procedures[0].variables == ["x", "y", "m"]
+
+    def test_tb_groups_are_independent(self):
+        """The TB generator's handler variables must form independent
+        octagon components (that is the whole point of the family)."""
+        from repro.analysis.analyzer import Analyzer
+        src = gen_tb_like(3, n_groups=3, group_size=3)
+        res = Analyzer(domain="octagon").analyze(src, collect=True)
+        # At least one closure ran on a decomposed DBM.
+        kinds = {rec.kind for rec in res.octagon_stats.closures}
+        assert "decomposed" in kinds
+
+
+class TestSuite:
+    def test_seventeen_benchmarks(self):
+        assert len(BENCHMARKS) == 17
+        assert len({b.name for b in BENCHMARKS}) == 17
+
+    def test_families(self):
+        fams = {b.analyzer for b in BENCHMARKS}
+        assert fams == {"CPA", "TB", "DPS", "DIZY"}
+        assert len(load_suite("CPA")) == 4
+        assert len(load_suite("TB")) == 4
+        assert len(load_suite("DPS")) == 6
+        assert len(load_suite("DIZY")) == 3
+
+    def test_lookup(self):
+        assert get_benchmark("crypt").analyzer == "DPS"
+        with pytest.raises(KeyError):
+            get_benchmark("nonsense")
+
+    def test_paper_stats_present(self):
+        crypt = get_benchmark("crypt").paper
+        assert (crypt.nmin, crypt.nmax, crypt.closures) == (9, 237, 861)
+        assert crypt.oct_speedup == 146.0
+
+    def test_scales(self):
+        b = get_benchmark("firefox")
+        small = b.source("small")
+        paper = b.source("paper")
+        assert small != paper
+        with pytest.raises(ValueError):
+            b.source("huge")
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_all_sources_parse_at_small_scale(self, bench):
+        program = parse_program(bench.source("small"))
+        assert program.procedures
+
+
+class TestRunWorkload:
+    def test_run_octagon_small(self):
+        run = run_workload(get_benchmark("firefox"), "octagon", scale="small")
+        assert run.closures > 0
+        assert run.total_seconds > 0
+        assert run.octagon_seconds <= run.total_seconds
+        assert run.nmin <= run.nmax
+
+    def test_aux_passes_add_non_octagon_time(self):
+        bench = get_benchmark("firefox")
+        bare = run_workload(bench, "octagon", scale="small", aux_passes=0)
+        # Enough repetitions that the auxiliary time dominates noise.
+        loaded = run_workload(bench, "octagon", scale="small", aux_passes=40)
+        assert loaded.pct_octagon < bare.pct_octagon
+        assert loaded.total_seconds > loaded.octagon_seconds
+
+    def test_capture_closures(self):
+        run = run_workload(get_benchmark("firefox"), "octagon",
+                           scale="small", capture_closures=True)
+        assert len(run.closure_inputs) == run.closures
+
+    def test_same_closure_counts_across_domains(self):
+        """Both implementations execute the same analysis, so they
+        perform the same number of full closures."""
+        bench = get_benchmark("matmult")
+        opt = run_workload(bench, "octagon", scale="small")
+        apron = run_workload(bench, "apron", scale="small")
+        assert opt.closures == apron.closures
+        assert (opt.checks_verified, opt.checks_total) == \
+            (apron.checks_verified, apron.checks_total)

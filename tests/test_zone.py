@@ -1,0 +1,206 @@
+"""Tests for the Zone (DBM) domain extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import INF
+from repro.core.constraints import LinExpr, OctConstraint
+from repro.domains import Zone, get_domain
+
+
+@st.composite
+def zones(draw, n=3):
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return Zone.top(n)
+    if kind == 1:
+        return Zone.bottom(n)
+    zone = Zone.top(n)
+    for _ in range(draw(st.integers(1, 8))):
+        v = draw(st.integers(0, n - 1))
+        w = draw(st.integers(0, n - 1))
+        c = float(draw(st.integers(-6, 12)))
+        if v == w:
+            lo = draw(st.booleans())
+            expr = LinExpr({v: -1.0}, c) if lo else LinExpr({v: 1.0}, -c)
+        else:
+            expr = LinExpr({v: 1.0, w: -1.0}, -c)  # v - w <= c
+        zone = zone.assume_linear(expr)
+    return zone
+
+
+SET = settings(max_examples=50, deadline=None)
+
+
+class TestBasics:
+    def test_top_bottom(self):
+        assert Zone.top(3).is_top()
+        assert Zone.bottom(3).is_bottom()
+        assert Zone.top(0).is_top()
+
+    def test_from_box(self):
+        z = Zone.from_box([(0.0, 2.0), (-INF, 5.0)])
+        assert z.bounds(0) == (0.0, 2.0)
+        assert z.bounds(1) == (-INF, 5.0)
+
+    def test_difference_constraint_exact(self):
+        z = Zone.top(2).assume_linear(LinExpr({0: 1.0, 1: -1.0}, -3.0))
+        lo, hi = z.bound_linexpr(LinExpr({0: 1.0, 1: -1.0}))
+        assert hi == 3.0
+
+    def test_closure_derives_transitive(self):
+        z = Zone.top(3)
+        z = z.assume_linear(LinExpr({0: 1.0, 1: -1.0}, -1.0))  # x - y <= 1
+        z = z.assume_linear(LinExpr({1: 1.0, 2: -1.0}, -2.0))  # y - z <= 2
+        lo, hi = z.bound_linexpr(LinExpr({0: 1.0, 2: -1.0}))
+        assert hi == 3.0
+
+    def test_contradiction(self):
+        z = Zone.top(1)
+        z = z.assume_linear(LinExpr({0: 1.0}, 0.0))   # x <= 0
+        z = z.assume_linear(LinExpr({0: -1.0}, 1.0))  # x >= 1
+        assert z.is_bottom()
+
+    def test_closure_preserves_original(self):
+        z = Zone.top(2).assume_linear(LinExpr({0: 1.0, 1: -1.0}, -1.0))
+        z.closed = False
+        before = z.mat.copy()
+        c = z.closure()
+        assert np.array_equal(np.isinf(z.mat), np.isinf(before))
+        assert c.closed
+
+
+class TestLattice:
+    @SET
+    @given(zones(), zones())
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.is_leq(j) and b.is_leq(j)
+
+    @SET
+    @given(zones(), zones())
+    def test_meet_lower_bound(self, a, b):
+        m = a.meet(b)
+        assert m.is_leq(a) and m.is_leq(b)
+
+    @SET
+    @given(zones(), zones())
+    def test_widening_covers_join(self, a, b):
+        assert a.join(b).is_leq(a.widening(b))
+
+    @SET
+    @given(zones())
+    def test_eq_reflexive(self, a):
+        assert a.is_eq(a.copy())
+
+    def test_widening_terminates(self):
+        state = Zone.from_box([(0.0, 0.0)])
+        for k in range(1, 100):
+            nxt = Zone.from_box([(0.0, float(k))])
+            merged = state.join(nxt)
+            if merged.is_leq(state):
+                break
+            state = state.widening(merged)
+            if state.bounds(0)[1] == INF:
+                break
+        assert state.bounds(0)[1] == INF
+
+
+class TestDecomposition:
+    def test_components_tracked(self):
+        z = Zone.top(6)
+        z = z.assume_linear(LinExpr({0: 1.0, 1: -1.0}, -1.0))
+        z = z.assume_linear(LinExpr({3: 1.0, 4: -1.0}, -1.0))
+        c = z.closure()
+        assert c.partition.canonical() == [[0, 1], [3, 4]]
+
+    def test_decomposed_closure_matches_dense(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            n = int(rng.integers(2, 8))
+            z1 = Zone.top(n)
+            z2 = Zone.top(n)
+            z2.decompose = False
+            for _ in range(int(rng.integers(1, 8))):
+                v, w = (int(x) for x in rng.integers(0, n, 2))
+                c = float(rng.integers(-4, 10))
+                expr = (LinExpr({v: 1.0}, -c) if v == w
+                        else LinExpr({v: 1.0, w: -1.0}, -c))
+                z1 = z1.assume_linear(expr)
+                z2 = z2.assume_linear(expr)
+                z2.decompose = False
+            if z1.is_bottom() or z2.is_bottom():
+                assert z1.is_bottom() == z2.is_bottom()
+                continue
+            a, b = z1.closure().mat, z2.closure().mat
+            assert np.allclose(np.where(np.isinf(a), 1e300, a),
+                               np.where(np.isinf(b), 1e300, b))
+
+
+class TestTransfer:
+    def test_assign_var_relational(self):
+        z = Zone.from_box([(0.0, 5.0), (0.0, 0.0)]).assign_var(1, 0, offset=2.0)
+        lo, hi = z.bound_linexpr(LinExpr({1: 1.0, 0: -1.0}))
+        assert (lo, hi) == (2.0, 2.0)
+        assert z.bounds(1) == (2.0, 7.0)
+
+    def test_translate_exact(self):
+        z = Zone.from_box([(1.0, 2.0)]).assign_var(0, 0, offset=3.0)
+        assert z.bounds(0) == (4.0, 5.0)
+
+    def test_negation_falls_back_to_intervals(self):
+        z = Zone.from_box([(1.0, 2.0), (0.0, 0.0)]).assign_var(1, 0, coeff=-1)
+        assert z.bounds(1) == (-2.0, -1.0)
+
+    def test_forget(self):
+        z = Zone.from_box([(1.0, 2.0), (3.0, 4.0)]).forget(0)
+        assert z.bounds(0) == (-INF, INF)
+        assert z.bounds(1) == (3.0, 4.0)
+
+    def test_assign_linexpr_relational(self):
+        z = Zone.from_box([(0.0, 1.0), (0.0, 2.0), (0.0, 0.0)])
+        z = z.assign_linexpr(2, LinExpr({0: 1.0, 1: 1.0}, 1.0))
+        assert z.bounds(2) == (1.0, 4.0)
+        lo, hi = z.bound_linexpr(LinExpr({2: 1.0, 0: -1.0}))
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_soundness_by_sampling(self):
+        rng = np.random.default_rng(9)
+        z = Zone.from_box([(-3.0, 3.0)] * 3)
+        expr = LinExpr({0: 1.0, 1: -1.0}, -1.0)
+        refined = z.assume_linear(expr)
+        for _ in range(40):
+            pt = rng.uniform(-3, 3, 3)
+            if expr.evaluate(pt) <= 0:
+                assert refined.contains_point(pt)
+
+
+class TestAnalyzerIntegration:
+    def test_zone_analysis_runs(self):
+        from repro.analysis.analyzer import analyze_source
+        res = analyze_source(
+            "i = 0; n = [5, 10]; while (i < n) { i = i + 1; } assert(i >= 5);",
+            domain="zone")
+        assert res.all_verified
+
+    def test_zone_proves_difference_invariant(self):
+        from repro.analysis.analyzer import analyze_source
+        # Exit ranges overlap (y in [0,15], x in [0,10]) so intervals
+        # cannot conclude y >= x; the zone's x - y <= 0 survives.
+        src = """
+        x = [0, 10]; y = x; k = [0, 5]; i = 0;
+        while (i < k) { y = y + 1; i = i + 1; }
+        assert(y >= x);
+        """
+        assert analyze_source(src, domain="zone").all_verified
+        assert not analyze_source(src, domain="interval").all_verified
+
+    def test_octagon_at_least_as_precise_on_boxes(self):
+        from repro.analysis.analyzer import analyze_source
+        src = "a = [0, 4]; b = a + 1; c = b - a;"
+        zb = analyze_source(src, domain="zone").procedures[0].box_at_exit()
+        ob = analyze_source(src, domain="octagon").procedures[0].box_at_exit()
+        for (zl, zh), (ol, oh) in zip(zb, ob):
+            assert ol >= zl - 1e-9 and oh <= zh + 1e-9
