@@ -25,11 +25,13 @@ def _measure():
 
 def test_fig8_octagon_analysis_speedup(benchmark):
     rows = run_once(benchmark, _measure)
+    for key in ("copies_avoided", "workspace_hits", "closure_cache_hits"):
+        benchmark.extra_info[key] = sum(r[key] for r in rows)
     table = format_table(
         ["benchmark", "analyzer", "apron_oct_s", "opt_oct_s",
-         "speedup", "paper_speedup"],
+         "speedup", "paper_speedup", "copies_avoided"],
         [[r["benchmark"], r["analyzer"], r["apron_oct_s"], r["opt_oct_s"],
-          r["speedup"], r["paper_speedup"]] for r in rows],
+          r["speedup"], r["paper_speedup"], r["copies_avoided"]] for r in rows],
         title=("Figure 8: octagon analysis speedup over APRON "
                f"(geomean {geomean([r['speedup'] for r in rows]):.1f}x)"))
     print("\n" + table)

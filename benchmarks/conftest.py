@@ -21,6 +21,15 @@ def scale() -> str:
     return bench_scale()
 
 
-def run_once(benchmark, fn):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+def run_once(benchmark, fn, *, counters=None):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    ``counters`` (a dict, or a callable producing one once the run is
+    done) lands in ``benchmark.extra_info`` so persisted results capture
+    the hot-path memory counters next to the wall time.
+    """
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    if counters is not None:
+        info = counters() if callable(counters) else counters
+        benchmark.extra_info.update(info)
+    return result

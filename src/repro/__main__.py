@@ -87,6 +87,9 @@ def cmd_bench(args) -> int:
     print(f"  opt octagon time:   {row['opt_oct_s']:.3f}s")
     print(f"  speedup:            {row['speedup']:.1f}x "
           f"(paper: {row['paper_speedup']:g}x)")
+    print(f"  copies avoided:     {row['copies_avoided']}")
+    print(f"  workspace hits:     {row['workspace_hits']}")
+    print(f"  closure cache hits: {row['closure_cache_hits']}")
     return 0
 
 

@@ -110,6 +110,9 @@ def fig8_row(benchmark: Benchmark, *, scale: Optional[str] = None) -> Dict[str, 
         "opt_oct_s": opt.octagon_seconds,
         "speedup": speedup,
         "paper_speedup": benchmark.paper.oct_speedup,
+        "copies_avoided": opt.counters.get("copies_avoided", 0),
+        "workspace_hits": opt.counters.get("workspace_hits", 0),
+        "closure_cache_hits": opt.counters.get("closure_cache_hits", 0),
     }
 
 
@@ -143,4 +146,7 @@ def table3_row(benchmark: Benchmark, *, scale: Optional[str] = None,
         "speedup": apron.total_seconds / max(opt.total_seconds, 1e-12),
         "paper_speedup": benchmark.paper.program_speedup,
         "paper_apron_pct_oct": benchmark.paper.apron_pct_oct,
+        "copies_avoided": opt.counters.get("copies_avoided", 0),
+        "workspace_hits": opt.counters.get("workspace_hits", 0),
+        "closure_cache_hits": opt.counters.get("closure_cache_hits", 0),
     }

@@ -42,6 +42,7 @@ from .strengthen import (
     reset_diagonal_numpy,
     strengthen_sparse_numpy,
 )
+from .workspace import get_workspace
 
 
 def submatrix_sparsity(sub: np.ndarray) -> float:
@@ -78,8 +79,8 @@ def strengthen_and_merge(
 ) -> Partition:
     """Global strengthening; returns the partition with merged blocks."""
     dim = m.shape[0]
-    ar = np.arange(dim)
-    d = m[ar, ar ^ 1]
+    ws = get_workspace(dim)
+    d = m[ws.arange, ws.xor]
     finite_vars = np.nonzero(np.isfinite(d).reshape(-1, 2).any(axis=1))[0]
     performed = strengthen_sparse_numpy(m)
     if counter is not None:

@@ -35,9 +35,11 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from . import workspace as _workspace
 from .halfmat import HalfMat
-from .indexing import cap, half_size, matpos2
+from .indexing import cap, matpos2
 from .stats import OpCounter
+from .workspace import PackedIndex as _PackedIndex, get_workspace
 from .strengthen import (
     is_bottom_half,
     is_bottom_numpy,
@@ -142,51 +144,20 @@ def closure_dense_scalar(m: HalfMat, counter: Optional[OpCounter] = None) -> boo
 
 
 # ----------------------------------------------------------------------
-# packed-half index cache for the vectorised variant
+# packed-half index tables (shared per-dimension workspaces)
 # ----------------------------------------------------------------------
-class _PackedIndex:
-    """Precomputed gather/scatter indices for one dimension ``n``.
-
-    * ``idx[i, j]`` -- packed offset of ``O[i, j]`` for any coordinate
-      (``matpos2`` as a 2n x 2n table), used to materialise "virtual"
-      full rows, the paper's contiguous scratch buffers.
-    * ``rows``/``cols`` -- for every packed slot, its (lower-triangle)
-      row and column coordinate; drive the bulk update gathers.
-    * ``cols_bar`` -- ``cols ^ 1``, for strengthening.
-    * ``diag``/``unary`` -- packed offsets of ``O[i, i]`` and
-      ``O[i, i^1]``.
-    """
-
-    __slots__ = ("n", "idx", "rows", "cols", "cols_bar", "diag", "unary")
-
-    def __init__(self, n: int):
-        self.n = n
-        dim = 2 * n
-        idx = np.empty((dim, dim), dtype=np.int64)
-        for i in range(dim):
-            for j in range(dim):
-                idx[i, j] = matpos2(i, j)
-        self.idx = idx
-        size = half_size(n)
-        rows = np.empty(size, dtype=np.int64)
-        cols = np.empty(size, dtype=np.int64)
-        for i in range(dim):
-            base = (i + 1) * (i + 1) // 2
-            for j in range(cap(i) + 1):
-                rows[base + j] = i
-                cols[base + j] = j
-        self.rows = rows
-        self.cols = cols
-        self.cols_bar = cols ^ 1
-        ar = np.arange(dim)
-        self.diag = idx[ar, ar].copy()
-        self.unary = idx[ar, ar ^ 1].copy()
-
-
+# The table class itself lives in :mod:`repro.core.workspace`
+# (:class:`PackedIndex`); ``_PackedIndex`` stays as a module alias for
+# API familiarity.  A legacy module-local cache backs the tables when
+# the workspace registry is switched off, because the pre-workspace
+# code cached them too -- baseline measurements with
+# ``workspace.disabled()`` must not be slower than the code they model.
 _INDEX_CACHE: Dict[int, _PackedIndex] = {}
 
 
 def packed_index(n: int) -> _PackedIndex:
+    if _workspace.is_enabled():
+        return get_workspace(2 * n).packed
     cache = _INDEX_CACHE.get(n)
     if cache is None:
         cache = _PackedIndex(n)
@@ -220,7 +191,7 @@ def shortest_path_dense_packed(
     """Algorithm 3's shortest-path step on the packed half DBM."""
     n = px.n
     dim = 2 * n
-    xor = np.arange(dim) ^ 1
+    xor = get_workspace(dim).xor
     ticks = 0
     for k in range(n):
         p0, p1 = 2 * k, 2 * k + 1
@@ -282,10 +253,14 @@ def closure_dense_packed_roundtrip(m: np.ndarray,
     return False
 
 
+# Legacy scratch cache, used only when the workspace registry is off
+# (see the note above ``packed_index``).
 _SCRATCH: Dict[int, np.ndarray] = {}
 
 
 def _scratch(dim: int) -> np.ndarray:
+    if _workspace.is_enabled():
+        return get_workspace(dim).scratch
     buf = _SCRATCH.get(dim)
     if buf is None:
         buf = np.empty((dim, dim), dtype=np.float64)
@@ -319,43 +294,14 @@ def closure_dense_numpy(m: np.ndarray, counter: Optional[OpCounter] = None) -> b
         np.add(m[:, p, None], m[None, p, :], out=t)
         np.minimum(m, t, out=m)
     # Strengthening with the buffered unary diagonal.
-    xor = np.arange(dim) ^ 1
-    d = m[np.arange(dim), xor]
+    ws = get_workspace(dim)
+    xor = ws.xor
+    d = m[ws.arange, xor]
     np.add(d[:, None], d[xor][None, :], out=t)
     t *= 0.5
     np.minimum(m, t, out=m)
     if counter is not None:
         counter.tick(2 * 2 * dim ** 3 + 3 * dim ** 2)
-    if is_bottom_numpy(m):
-        return True
-    reset_diagonal_numpy(m)
-    return False
-    t = _scratch(dim)
-    xor = np.arange(dim) ^ 1
-    ticks = 0
-    for p0 in range(0, dim, 2):
-        p1 = p0 + 1
-        # Pivot lines first: pivot p0 tightens row p1, then pivot p1
-        # tightens row p0 using the updated row p1 (Algorithm 3's
-        # one-min-per-entry phase).  Columns are the coherent mirrors.
-        np.minimum(m[p1, :], m[p1, p0] + m[p0, :], out=m[p1, :])
-        np.minimum(m[p0, :], m[p0, p1] + m[p1, :], out=m[p0, :])
-        m[:, p0] = m[p1, xor]
-        m[:, p1] = m[p0, xor]
-        # Bulk: both pivot candidates, scratch-buffered, allocation-free.
-        np.add(m[:, p0, None], m[p0, None, :], out=t)
-        np.minimum(m, t, out=m)
-        np.add(m[:, p1, None], m[p1, None, :], out=t)
-        np.minimum(m, t, out=m)
-        ticks += 4 * dim * dim + 2 * dim
-    # Strengthening with the buffered unary diagonal.
-    d = m[np.arange(dim), xor]
-    np.add(d[:, None], d[xor][None, :], out=t)
-    t *= 0.5
-    np.minimum(m, t, out=m)
-    ticks += dim * dim
-    if counter is not None:
-        counter.tick(ticks)
     if is_bottom_numpy(m):
         return True
     reset_diagonal_numpy(m)

@@ -35,6 +35,7 @@ from .strengthen import (
     reset_diagonal_numpy,
     strengthen_numpy,
 )
+from .workspace import get_workspace
 
 
 def incremental_closure(
@@ -49,21 +50,36 @@ def incremental_closure(
     p0, p1 = 2 * v, 2 * v + 1
     if not 0 <= p1 < dim:
         raise IndexError(f"variable {v} out of range for dim {dim}")
-    xor = np.arange(dim) ^ 1
+    ws = get_workspace(dim)
+    xor = ws.xor
+    t = ws.scratch
+    tmp = ws.vec("inc_tmp")
     # Phase 1: one-hop-new-edge distances out of +v / -v against the
     # closed rest:  d(p, j) = min_x O[p, x] + O[x, j] (snapshot).
-    d0 = np.min(m[p0, :, None] + m, axis=0)
-    d1 = np.min(m[p1, :, None] + m, axis=0)
+    d0 = ws.vec("inc_d0")
+    d1 = ws.vec("inc_d1")
+    np.add(m[p0, :, None], m, out=t)
+    np.min(t, axis=0, out=d0)
+    np.add(m[p1, :, None], m, out=t)
+    np.min(t, axis=0, out=d1)
     # Phase 2: routes through the opposite sign of v.  A path between
     # the two signs may use new edges on *both* ends with an old-closed
     # segment in between (edge, old path, edge), so the pair-to-pair
     # distances take one more min-plus composition.
-    dd01 = float(np.min(d0 + m[:, p1]))  # exact d(+v -> -v)
-    dd10 = float(np.min(d1 + m[:, p0]))  # exact d(-v -> +v)
-    dd00 = float(np.min(d0 + m[:, p0]))  # cycle through +v (bottom check)
-    dd11 = float(np.min(d1 + m[:, p1]))  # cycle through -v
-    r0 = np.minimum(d0, dd01 + d1)
-    r1 = np.minimum(d1, dd10 + d0)
+    np.add(d0, m[:, p1], out=tmp)
+    dd01 = float(tmp.min())  # exact d(+v -> -v)
+    np.add(d1, m[:, p0], out=tmp)
+    dd10 = float(tmp.min())  # exact d(-v -> +v)
+    np.add(d0, m[:, p0], out=tmp)
+    dd00 = float(tmp.min())  # cycle through +v (bottom check)
+    np.add(d1, m[:, p1], out=tmp)
+    dd11 = float(tmp.min())  # cycle through -v
+    r0 = ws.vec("inc_r0")
+    r1 = ws.vec("inc_r1")
+    np.add(d1, dd01, out=r0)
+    np.minimum(d0, r0, out=r0)
+    np.add(d0, dd10, out=r1)
+    np.minimum(d1, r1, out=r1)
     r0[p1] = min(r0[p1], dd01)
     r1[p0] = min(r1[p0], dd10)
     r0[p0] = min(r0[p0], dd00)
@@ -72,15 +88,19 @@ def incremental_closure(
     # the opposite-sign rows (O[i, p0] == O[p1, i^1]).
     np.minimum(m[p0, :], r0, out=m[p0, :])
     np.minimum(m[p1, :], r1, out=m[p1, :])
-    np.minimum(m[:, p0], r1[xor], out=m[:, p0])
-    np.minimum(m[:, p1], r0[xor], out=m[:, p1])
+    col0 = ws.vec("inc_col0")
+    col1 = ws.vec("inc_col1")
+    np.take(r1, xor, out=col0)
+    np.take(r0, xor, out=col1)
+    np.minimum(m[:, p0], col0, out=m[:, p0])
+    np.minimum(m[:, p1], col1, out=m[:, p1])
     # Phase 3: one fused pivot-pair sweep, all candidates from the
     # refreshed lines (kept in r0/r1 to stay snapshot-consistent).
-    col0 = r1[xor]
-    col1 = r0[xor]
-    cand = col0[:, None] + r0[None, :]
-    np.minimum(cand, col1[:, None] + r1[None, :], out=cand)
-    np.minimum(m, cand, out=m)
+    t2 = ws.scratch2
+    np.add(col0[:, None], r0[None, :], out=t)
+    np.add(col1[:, None], r1[None, :], out=t2)
+    np.minimum(t, t2, out=t)
+    np.minimum(m, t, out=m)
     # Phase 4: strengthening.
     strengthen_numpy(m)
     if counter is not None:

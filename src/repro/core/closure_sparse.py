@@ -34,18 +34,24 @@ from .strengthen import (
     reset_diagonal_numpy,
     strengthen_sparse_numpy,
 )
+from .workspace import get_workspace
 
 
 def shortest_path_sparse(m: np.ndarray, counter: Optional[OpCounter] = None) -> int:
     """Index-driven shortest-path closure on a full coherent DBM."""
     dim = m.shape[0]
+    if dim == 0:
+        return 0
+    ws = get_workspace(dim)
+    fin_row = ws.bool_scratch[0]
+    fin_col = ws.bool_scratch[1]
     candidates = 0
     for p in range(dim):
         row = m[p]
         col = m[:, p]
         # Build the per-iteration index of finite operands (linear scan).
-        finite_j = np.nonzero(np.isfinite(row))[0]
-        finite_i = np.nonzero(np.isfinite(col))[0]
+        finite_j = np.nonzero(np.isfinite(row, out=fin_row))[0]
+        finite_i = np.nonzero(np.isfinite(col, out=fin_col))[0]
         if finite_j.size == 0 or finite_i.size == 0:
             continue
         sub = m[np.ix_(finite_i, finite_j)]

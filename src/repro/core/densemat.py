@@ -23,6 +23,7 @@ import numpy as np
 
 from .bounds import INF
 from .indexing import half_size
+from .workspace import get_workspace
 
 
 def new_top(n: int) -> np.ndarray:
@@ -73,9 +74,11 @@ def enforce_coherence(m: np.ndarray) -> np.ndarray:
 
 def count_nni(m: np.ndarray) -> int:
     """Finite entries of the half representation (paper's ``nni``)."""
-    n = m.shape[0] // 2
-    mask = coherent_lower_mask(n)
-    return int(np.count_nonzero(np.isfinite(m) & mask))
+    dim = m.shape[0]
+    ws = get_workspace(dim)
+    fin = np.isfinite(m, out=ws.bool_scratch)
+    fin &= ws.lower_mask
+    return int(np.count_nonzero(fin))
 
 
 def sparsity(m: np.ndarray, nni: Optional[int] = None) -> float:

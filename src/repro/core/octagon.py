@@ -24,6 +24,15 @@ cached closed copy.  This matters for termination -- the widening
 operator must see the unclosed left argument, so closure must not
 overwrite the loop-head states stored by the fixpoint engine.
 
+Storage is copy-on-write (:mod:`repro.core.cow`): :meth:`copy` is O(1)
+aliasing, every in-place mutation path materialises an exclusive
+matrix first (via :meth:`_write_mat`), and the cached closed copy is
+stamped with the matrix's mutation version so it survives aliasing --
+``copy().closure()`` reuses the already-computed closed form instead
+of re-running a cubic kernel.  The partition is shared on copy too:
+:class:`~repro.core.partition.Partition` objects are immutable after
+construction by convention.
+
 The matrix convention matches the paper's Figure 1: ``mat[i, j] = c``
 encodes ``vhat_j - vhat_i <= c`` with ``vhat_{2v} = +v`` and
 ``vhat_{2v+1} = -v``; see :mod:`repro.core.constraints` for the
@@ -33,12 +42,13 @@ constraint-to-cell mapping.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from . import stats
 from .bounds import INF, is_finite
+from .cow import CowMat, is_enabled as _cow_enabled
 from .closure_decomposed import closure_decomposed
 from .closure_dense import closure_dense_numpy
 from .closure_incremental import incremental_closure
@@ -48,18 +58,19 @@ from .densemat import count_nni, matrices_equal, new_top
 from .indexing import expand_vars, half_size
 from .kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
 from .partition import Partition
+from .workspace import get_workspace
 
 
 class Octagon:
     """A (possibly decomposed) octagon over ``n`` program variables."""
 
-    __slots__ = ("n", "mat", "partition", "nni", "closed", "_bottom",
-                 "policy", "_ccache")
+    __slots__ = ("n", "_cow", "partition", "nni", "closed", "_bottom",
+                 "policy", "_ccache", "_ccache_version")
 
     def __init__(
         self,
         n: int,
-        mat: np.ndarray,
+        mat: Union[np.ndarray, CowMat],
         partition: Partition,
         nni: int,
         *,
@@ -68,13 +79,40 @@ class Octagon:
         policy: SwitchPolicy = DEFAULT_POLICY,
     ):
         self.n = n
-        self.mat = mat
+        self._cow = mat if isinstance(mat, CowMat) else CowMat(mat)
         self.partition = partition
         self.nni = nni
         self.closed = closed
         self._bottom = bottom
         self.policy = policy
         self._ccache: Optional["Octagon"] = None
+        self._ccache_version = -1
+
+    # ------------------------------------------------------------------
+    # copy-on-write storage
+    # ------------------------------------------------------------------
+    @property
+    def mat(self) -> np.ndarray:
+        """The full coherent DBM (may be shared with aliases; use
+        :meth:`_write_mat` before any in-place mutation)."""
+        return self._cow.arr
+
+    @mat.setter
+    def mat(self, arr: np.ndarray) -> None:
+        self._cow = arr if isinstance(arr, CowMat) else CowMat(arr)
+
+    def _write_mat(self) -> np.ndarray:
+        """Exclusive, writable DBM: materialises a copy if the matrix is
+        shared, bumps the mutation version and drops the closed cache."""
+        self._ccache = None
+        return self._cow.written()
+
+    def _cached_closure(self) -> Optional["Octagon"]:
+        """The cached closed copy, if still valid for this matrix."""
+        cc = self._ccache
+        if cc is not None and self._ccache_version == self._cow.version:
+            return cc
+        return None
 
     # ------------------------------------------------------------------
     # constructors
@@ -138,8 +176,20 @@ class Octagon:
         return cls(n, m, part, nni, closed=False, policy=policy)
 
     def copy(self) -> "Octagon":
-        return Octagon(self.n, self.mat.copy(), self.partition.copy(), self.nni,
-                       closed=self.closed, bottom=self._bottom, policy=self.policy)
+        """O(1) aliasing copy (copy-on-write).
+
+        The matrix is shared until either side writes; the partition is
+        shared outright (immutable after construction); and a valid
+        cached closed form is carried over, so ``copy().closure()``
+        reuses it instead of re-running a closure kernel.
+        """
+        part = self.partition if _cow_enabled() else self.partition.copy()
+        out = Octagon(self.n, self._cow.clone(), part, self.nni,
+                      closed=self.closed, bottom=self._bottom, policy=self.policy)
+        if _cow_enabled():  # baseline mode also measures pre-PR cache behaviour
+            out._ccache = self._ccache
+            out._ccache_version = self._ccache_version
+        return out
 
     # ------------------------------------------------------------------
     # structural bookkeeping
@@ -194,14 +244,17 @@ class Octagon:
         """
         if self._bottom or self.closed:
             return self
-        if self._ccache is not None:
-            return self._ccache
+        cc = self._cached_closure()
+        if cc is not None:
+            stats.bump("closure_cache_hits")
+            return cc
         out = self.copy()
         out._close_in_place()
         if out._bottom:
             self._become_bottom()
             return self
         self._ccache = out
+        self._ccache_version = self._cow.version
         return out
 
     # Kept for API familiarity: ``close()`` is ``closure()``.
@@ -211,25 +264,30 @@ class Octagon:
     def _close_in_place(self) -> None:
         """Dispatch on the DBM kind and close ``self.mat`` in place."""
         kind = self.kind
-        if kind != DbmKind.TOP:
+        if kind == DbmKind.TOP:
+            # Nothing to close; do not materialise a shared matrix.
+            stats.record_closure(self.n, str(kind), 0.0,
+                                 len(self.partition.blocks))
+            self.closed = True
+            return
+        if stats.capturing_closure_inputs():
             stats.record_closure_input(
                 self.mat.copy(), [list(b) for b in self.partition.blocks])
-        start = time.perf_counter()
         components = len(self.partition.blocks)
-        if kind == DbmKind.TOP:
-            empty = False
-        elif kind == DbmKind.DECOMPOSED:
+        m = self._write_mat()
+        start = time.perf_counter()
+        if kind == DbmKind.DECOMPOSED:
             empty, exact = closure_decomposed(
-                self.mat, self.partition, sparse_threshold=self.policy.threshold)
+                m, self.partition, sparse_threshold=self.policy.threshold)
             if not empty:
                 self.partition = exact
-                self.nni = count_nni(self.mat)
+                self.nni = count_nni(m)
         elif kind == DbmKind.SPARSE:
-            empty = closure_sparse(self.mat)
+            empty = closure_sparse(m)
             if not empty:
                 self._refresh_structure_exact()
         else:
-            empty = closure_dense_numpy(self.mat)
+            empty = closure_dense_numpy(m)
             if not empty:
                 self._refresh_structure_exact()
         elapsed = time.perf_counter() - start
@@ -241,8 +299,9 @@ class Octagon:
 
     def _incremental_close(self, v: int) -> None:
         """Quadratic re-closure after changes confined to variable ``v``."""
+        m = self._write_mat()
         start = time.perf_counter()
-        empty = incremental_closure(self.mat, v)
+        empty = incremental_closure(m, v)
         elapsed = time.perf_counter() - start
         stats.record_closure(self.n, "incremental", elapsed, len(self.partition.blocks))
         if empty:
@@ -253,11 +312,10 @@ class Octagon:
         # incremental strengthening can only relate variables that own
         # finite unary bounds, so merging their blocks keeps the
         # partition a sound over-approximation at O(n) cost.
-        self.nni = count_nni(self.mat)
+        self.nni = count_nni(m)
         if self.policy.decompose:
-            dim = 2 * self.n
-            ar = np.arange(dim)
-            d = self.mat[ar, ar ^ 1]
+            ws = get_workspace(2 * self.n)
+            d = m[ws.arange, ws.xor]
             unary_vars = np.nonzero(np.isfinite(d).reshape(-1, 2).any(axis=1))[0]
             if unary_vars.size > 1:
                 self.partition = self.partition.merge_blocks_containing(
@@ -288,6 +346,8 @@ class Octagon:
             return True
         if other._bottom:
             return False
+        if _cow_enabled() and self._cow.arr is other._cow.arr:
+            return True  # COW aliases denote the same abstract value
         closed = self.closure()
         if self._bottom:
             return True
@@ -305,6 +365,8 @@ class Octagon:
 
     def is_eq(self, other: "Octagon") -> bool:
         self._check_compat(other)
+        if _cow_enabled() and self._cow.arr is other._cow.arr:
+            return True
         if self.is_bottom() or other.is_bottom():
             return self.is_bottom() and other.is_bottom()
         a, b = self.closure(), other.closure()
@@ -326,14 +388,14 @@ class Octagon:
             return Octagon.bottom(self.n, policy=self.policy)
         with stats.timed_op("meet"):
             part = self.partition.union(other.partition)
-            out = new_top(self.n)
             if self._use_blockwise(part):
+                out = new_top(self.n)
                 for block in part.blocks:
                     idx = expand_vars(block)
                     gather = np.ix_(idx, idx)
                     out[gather] = np.minimum(self.mat[gather], other.mat[gather])
             else:
-                np.minimum(self.mat, other.mat, out=out)
+                out = np.minimum(self.mat, other.mat)
             nni = count_nni(out)
             return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
 
@@ -341,6 +403,8 @@ class Octagon:
         """Least upper bound; computed on the closures for precision and
         inducing intersection on the component sets."""
         self._check_compat(other)
+        if _cow_enabled() and self._cow.arr is other._cow.arr:
+            return self.copy()  # join is idempotent on aliases
         if self.is_bottom():
             return other.copy()
         if other.is_bottom():
@@ -352,8 +416,8 @@ class Octagon:
             return self.copy()
         with stats.timed_op("join"):
             part = a.partition.intersection(b.partition)
-            out = new_top(self.n)
             if self._use_blockwise(part):
+                out = new_top(self.n)
                 for block in part.blocks:
                     idx = expand_vars(block)
                     gather = np.ix_(idx, idx)
@@ -361,7 +425,7 @@ class Octagon:
             else:
                 # Entries outside the component intersection are trivial
                 # in one operand, so the whole-matrix max is identical.
-                np.maximum(a.mat, b.mat, out=out)
+                out = np.maximum(a.mat, b.mat)
             nni = count_nni(out)
             # The pointwise max of two closed DBMs is closed.
             return Octagon(self.n, out, part, nni, closed=True, policy=self.policy)
@@ -384,8 +448,8 @@ class Octagon:
             return self.copy()
         with stats.timed_op("widening"):
             part = self.partition.intersection(b.partition)
-            out = new_top(self.n)
             if self._use_blockwise(part):
+                out = new_top(self.n)
                 for block in part.blocks:
                     idx = expand_vars(block)
                     gather = np.ix_(idx, idx)
@@ -393,7 +457,7 @@ class Octagon:
                     out[gather] = np.where(sb <= sa, sa, INF)
             else:
                 keep = b.mat <= self.mat
-                np.copyto(out, np.where(keep, self.mat, INF))
+                out = np.where(keep, self.mat, INF)
             np.fill_diagonal(out, 0.0)
             nni = count_nni(out)
             return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
@@ -412,7 +476,6 @@ class Octagon:
         with stats.timed_op("widening"):
             ts = np.array(sorted(float(t) for t in thresholds), dtype=np.float64)
             part = self.partition.intersection(b.partition)
-            out = new_top(self.n)
             stable = b.mat <= self.mat
             pos = np.searchsorted(ts, b.mat, side="left")
             bumped = np.full(b.mat.shape, INF)
@@ -420,12 +483,13 @@ class Octagon:
             bumped[valid] = ts[pos[valid]]
             widened = np.where(stable, self.mat, bumped)
             if self._use_blockwise(part):
+                out = new_top(self.n)
                 for block in part.blocks:
                     idx = expand_vars(block)
                     gather = np.ix_(idx, idx)
                     out[gather] = widened[gather]
             else:
-                np.copyto(out, widened)
+                out = widened
             np.fill_diagonal(out, 0.0)
             nni = count_nni(out)
             return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
@@ -464,15 +528,19 @@ class Octagon:
     # ------------------------------------------------------------------
     def _meet_constraint_cells(self, cons: OctConstraint) -> None:
         """Tighten the DBM cells of one constraint (no re-closure)."""
+        m = self.mat
+        wrote = False
         for r, s, c in dbm_cells(cons):
-            if c < self.mat[r, s]:
-                if not is_finite(self.mat[r, s]):
+            if c < m[r, s]:
+                if not wrote:
+                    m = self._write_mat()
+                    wrote = True
+                if not is_finite(m[r, s]):
                     self.nni += 1
-                self.mat[r, s] = c
+                m[r, s] = c
         vars_ = list(cons.variables())
         self.partition = self.partition.merge_blocks_containing(vars_)
         self.closed = False
-        self._ccache = None
 
     def meet_constraint(self, cons: OctConstraint) -> "Octagon":
         """Return ``self /\\ cons``; re-closes incrementally when
@@ -480,7 +548,8 @@ class Octagon:
         if self._bottom:
             return self.copy()
         with stats.timed_op("meet_constraint"):
-            base = self.closure() if self.closed or self._ccache else self
+            base = (self.closure()
+                    if self.closed or self._cached_closure() is not None else self)
             out = base.copy()
             was_closed = out.closed
             out._meet_constraint_cells(cons)
@@ -493,7 +562,8 @@ class Octagon:
         if self._bottom:
             return self.copy()
         with stats.timed_op("meet_constraint"):
-            base = self.closure() if self.closed or self._ccache else self
+            base = (self.closure()
+                    if self.closed or self._cached_closure() is not None else self)
             out = base.copy()
             was_closed = out.closed
             cons_list = list(constraints)
@@ -580,13 +650,14 @@ class Octagon:
             return self.copy()
         with stats.timed_op("forget"):
             out = closed.copy()
+            m = out._write_mat()
             p0, p1 = 2 * v, 2 * v + 1
-            out.mat[[p0, p1], :] = INF
-            out.mat[:, [p0, p1]] = INF
-            out.mat[p0, p0] = 0.0
-            out.mat[p1, p1] = 0.0
+            m[[p0, p1], :] = INF
+            m[:, [p0, p1]] = INF
+            m[p0, p0] = 0.0
+            m[p1, p1] = 0.0
             out.partition = out.partition.remove_var(v)
-            out.nni = count_nni(out.mat)
+            out.nni = count_nni(m)
             out.closed = True  # removing edges from a closed DBM keeps it closed
         return out
 
@@ -627,7 +698,7 @@ class Octagon:
         with stats.timed_op("assign"):
             out = self.copy()
             p0, p1 = 2 * v, 2 * v + 1
-            m = out.mat
+            m = out._write_mat()
             m[p0, :] -= c
             m[p1, :] += c
             m[:, p0] += c
@@ -643,7 +714,7 @@ class Octagon:
         with stats.timed_op("assign"):
             out = self.copy()
             p0, p1 = 2 * v, 2 * v + 1
-            m = out.mat
+            m = out._write_mat()
             m[[p0, p1], :] = m[[p1, p0], :]
             m[:, [p0, p1]] = m[:, [p1, p0]]
         if c != 0.0:
@@ -816,17 +887,17 @@ class Octagon:
             # Integral non-unary bounds: floor every finite entry (all
             # our constraints have unit coefficients, so each entry is a
             # bound on an integer-valued expression).
-            finite = np.isfinite(out.mat)
-            out.mat[finite] = np.floor(out.mat[finite])
-            tighten_integer_numpy(out.mat)
-            strengthen_numpy(out.mat)
-            if is_bottom_numpy(out.mat):
+            m = out._write_mat()
+            finite = np.isfinite(m)
+            m[finite] = np.floor(m[finite])
+            tighten_integer_numpy(m)
+            strengthen_numpy(m)
+            if is_bottom_numpy(m):
                 out._become_bottom()
                 return out
-            reset_diagonal_numpy(out.mat)
+            reset_diagonal_numpy(m)
             out._refresh_structure_exact()
             out.closed = False
-            out._ccache = None
         return out
 
     # ------------------------------------------------------------------

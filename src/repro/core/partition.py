@@ -32,6 +32,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from .cow import is_enabled as _sharing_enabled
+
 
 class UnionFind:
     """Classic disjoint-set forest with path compression + union by size."""
@@ -70,12 +72,19 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     _scipy_cc = None
 
 
+# Below this vertex count the union-find beats scipy: building the CSR
+# wrapper costs several microseconds of Python/validation overhead per
+# call, which dominates the tiny graphs the analyzer workloads produce
+# (this runs on every closure's structural refresh).
+_SMALL_CC = 32
+
+
 def _connected_components(adj: np.ndarray) -> np.ndarray:
     """Component label per vertex of a boolean adjacency matrix."""
-    if _scipy_cc is not None:
+    n = adj.shape[0]
+    if _scipy_cc is not None and n > _SMALL_CC:
         _, labels = _scipy_cc(_csr(adj), directed=False)
         return labels
-    n = adj.shape[0]
     uf = UnionFind(n)
     rows, cols = np.nonzero(adj)
     for v, w in zip(rows.tolist(), cols.tolist()):
@@ -199,6 +208,10 @@ class Partition:
         """Partition join: merge overlapping blocks (octagon *meet*)."""
         if self.n != other.n:
             raise ValueError("partition size mismatch")
+        # Partitions are immutable after construction, so when the COW
+        # layer is on (sharing mode) idempotent results alias the input.
+        if other is self and _sharing_enabled():
+            return self
         uf = UnionFind(self.n)
         members: Set[int] = set()
         for part in (self, other):
@@ -216,6 +229,8 @@ class Partition:
         (octagon *join* / *widening*)."""
         if self.n != other.n:
             raise ValueError("partition size mismatch")
+        if other is self and _sharing_enabled():
+            return self
         out = Partition(self.n)
         seen: Dict[tuple, List[int]] = {}
         for v in self.support & other.support:
@@ -234,7 +249,7 @@ class Partition:
         """
         idx = self._var2block.get(v)
         if idx is None:
-            return self.copy()
+            return self if _sharing_enabled() else self.copy()
         out = Partition(self.n)
         for i, block in enumerate(self.blocks):
             kept = [w for w in block if w != v] if i == idx else block
@@ -250,7 +265,12 @@ class Partition:
         """
         vars_list = [v for v in variables if 0 <= v < self.n]
         if not vars_list:
-            return self.copy()
+            return self if _sharing_enabled() else self.copy()
+        if _sharing_enabled():
+            first = self._var2block.get(vars_list[0])
+            if first is not None and all(
+                    self._var2block.get(v) == first for v in vars_list):
+                return self  # already one block: fusing is a no-op
         fused: Set[int] = set()
         untouched: List[List[int]] = []
         hit_blocks = {self._var2block[v] for v in vars_list if v in self._var2block}

@@ -12,6 +12,14 @@ Three consumers drive the design:
   per-closure runtime trace.
 * **Fig 8 / Table 3**: aggregate time spent inside octagon operations,
   per operator, so end-to-end speedups can be decomposed.
+* **Hot-path memory counters**: the copy-on-write layer
+  (:mod:`repro.core.cow`), the kernel workspace registry
+  (:mod:`repro.core.workspace`) and the versioned closure cache report
+  how much memory traffic they avoided (``cow_clones``,
+  ``cow_materializations``, ``workspace_hits`` and
+  ``closure_cache_hits``) via :func:`bump`; the benchmark harness
+  persists them so trajectories capture allocation behaviour, not just
+  wall time.
 
 A single module-level :class:`StatsCollector` is active at a time; the
 :func:`collecting` context manager installs a fresh one.  When no
@@ -23,7 +31,25 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
+
+# Modules whose hot paths are too frequent for per-event ``bump`` calls
+# (COW clones, workspace lookups) keep plain module-global counters and
+# register a reader here; a collector snapshots the totals when it is
+# installed and reports the delta.
+_COUNTER_SOURCES: List[Callable[[], Dict[str, int]]] = []
+
+
+def register_counter_source(reader: Callable[[], Dict[str, int]]) -> None:
+    """Register a callable returning cumulative global counter values."""
+    _COUNTER_SOURCES.append(reader)
+
+
+def _global_counters() -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for reader in _COUNTER_SOURCES:
+        out.update(reader())
+    return out
 
 
 @dataclass
@@ -51,10 +77,15 @@ class StatsCollector:
     closures: List[ClosureRecord] = field(default_factory=list)
     capture_closure_inputs: bool = False
     closure_inputs: List[tuple] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    counter_base: Dict[str, int] = field(default_factory=_global_counters)
 
     def record_op(self, name: str, seconds: float) -> None:
         self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
         self.op_calls[name] = self.op_calls.get(name, 0) + 1
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
 
     def record_closure(self, record: ClosureRecord) -> None:
         self.closures.append(record)
@@ -98,6 +129,45 @@ class StatsCollector:
             "nmax": max(sizes),
             "closures": len(full),
             "incremental": len(self.closures) - len(full),
+        }
+
+    # ------------------------------------------------------------------
+    # hot-path memory counters
+    # ------------------------------------------------------------------
+    def merged_counters(self) -> Dict[str, int]:
+        """Per-event ``bump`` counters plus the global-source deltas
+        accumulated since this collector was installed."""
+        merged = dict(self.counters)
+        for name, value in _global_counters().items():
+            delta = value - self.counter_base.get(name, 0)
+            if delta:
+                merged[name] = merged.get(name, 0) + delta
+        return merged
+
+    @property
+    def copies_avoided(self) -> int:
+        """Matrix copies the COW layer never had to perform.
+
+        Eager semantics pay one copy per ``copy()`` call; COW pays one
+        copy per materialisation, so the difference is the saving.  At
+        most one materialisation exists per clone (the last owner of a
+        share group writes in place), so this is never negative.
+        """
+        merged = self.merged_counters()
+        return (merged.get("cow_clones", 0)
+                - merged.get("cow_materializations", 0))
+
+    def counter_summary(self) -> Dict[str, int]:
+        """The memory-layer counters persisted by the benchmark harness."""
+        merged = self.merged_counters()
+        return {
+            "copies_avoided": (merged.get("cow_clones", 0)
+                               - merged.get("cow_materializations", 0)),
+            "cow_clones": merged.get("cow_clones", 0),
+            "cow_materializations": merged.get("cow_materializations", 0),
+            "workspace_hits": merged.get("workspace_hits", 0),
+            "workspace_misses": merged.get("workspace_misses", 0),
+            "closure_cache_hits": merged.get("closure_cache_hits", 0),
         }
 
 
@@ -145,6 +215,18 @@ def record_closure_input(matrix, blocks) -> None:
     """Capture a full-closure input (matrix copy + partition blocks)."""
     if _ACTIVE is not None and _ACTIVE.capture_closure_inputs:
         _ACTIVE.record_closure_input(matrix, blocks)
+
+
+def capturing_closure_inputs() -> bool:
+    """True iff a collector wants full-closure inputs (callers can then
+    skip the defensive matrix copy on the no-collector hot path)."""
+    return _ACTIVE is not None and _ACTIVE.capture_closure_inputs
+
+
+def bump(name: str, amount: int = 1) -> None:
+    """Increment a named counter on the active collector (no-op otherwise)."""
+    if _ACTIVE is not None:
+        _ACTIVE.bump(name, amount)
 
 
 class OpCounter:

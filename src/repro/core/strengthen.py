@@ -27,6 +27,7 @@ import numpy as np
 from .halfmat import HalfMat
 from .indexing import cap, matpos
 from .stats import OpCounter
+from .workspace import get_workspace
 
 
 def strengthen_scalar(m: HalfMat, counter: Optional[OpCounter] = None) -> None:
@@ -55,11 +56,15 @@ def strengthen_scalar(m: HalfMat, counter: Optional[OpCounter] = None) -> None:
 def strengthen_numpy(m: np.ndarray) -> None:
     """Vectorised strengthening on a full coherent DBM (in place)."""
     dim = m.shape[0]
-    idx = np.arange(dim)
-    d = m[idx, idx ^ 1]  # d[i] = O[i, i^1]
+    if dim == 0:
+        return
+    ws = get_workspace(dim)
+    d = m[ws.arange, ws.xor]  # d[i] = O[i, i^1]
     # O[i, j] <- min(O[i, j], (d[i] + d[j^1]) / 2); inf operands stay inf.
-    cand = (d[:, None] + d[idx ^ 1][None, :]) * 0.5
-    np.minimum(m, cand, out=m)
+    t = ws.scratch
+    np.add(d[:, None], d[ws.xor][None, :], out=t)
+    t *= 0.5
+    np.minimum(m, t, out=m)
 
 
 def strengthen_sparse_numpy(m: np.ndarray) -> int:
@@ -71,8 +76,8 @@ def strengthen_sparse_numpy(m: np.ndarray) -> int:
     reporting).
     """
     dim = m.shape[0]
-    idx = np.arange(dim)
-    d = m[idx, idx ^ 1]
+    ws = get_workspace(dim)
+    d = m[ws.arange, ws.xor]
     finite = np.nonzero(np.isfinite(d))[0]
     if finite.size == 0:
         return 0
@@ -92,11 +97,11 @@ def tighten_integer_numpy(m: np.ndarray) -> None:
     extension (Mine 2006) applied before strengthening.
     """
     dim = m.shape[0]
-    idx = np.arange(dim)
-    d = m[idx, idx ^ 1]
+    ws = get_workspace(dim)
+    d = m[ws.arange, ws.xor]
     finite = np.isfinite(d)
     d[finite] = 2.0 * np.floor(d[finite] / 2.0)
-    m[idx, idx ^ 1] = d
+    m[ws.arange, ws.xor] = d
 
 
 def is_bottom_numpy(m: np.ndarray) -> bool:

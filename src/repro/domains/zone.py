@@ -27,13 +27,14 @@ decomposition pays on workloads where widening erases bounds.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core import stats
 from ..core.bounds import INF, is_finite
 from ..core.constraints import LinExpr, OctConstraint
+from ..core.cow import CowMat, is_enabled as _cow_enabled
 from ..core.partition import Partition, _connected_components
 
 
@@ -107,19 +108,44 @@ def _partition_from_matrix(m: np.ndarray) -> Partition:
 class Zone:
     """A zone (DBM) over ``n`` program variables, with decomposition."""
 
-    __slots__ = ("n", "mat", "partition", "closed", "_bottom", "_ccache",
-                 "decompose")
+    __slots__ = ("n", "_cow", "partition", "closed", "_bottom", "_ccache",
+                 "_ccache_version", "decompose")
 
-    def __init__(self, n: int, mat: np.ndarray, partition: Partition, *,
+    def __init__(self, n: int, mat: Union[np.ndarray, CowMat],
+                 partition: Partition, *,
                  closed: bool = False, bottom: bool = False,
                  decompose: bool = True):
         self.n = n
-        self.mat = mat
+        self._cow = mat if isinstance(mat, CowMat) else CowMat(mat)
         self.partition = partition
         self.closed = closed
         self._bottom = bottom
         self._ccache: Optional["Zone"] = None
+        self._ccache_version = -1
         self.decompose = decompose
+
+    # ------------------------------------------------------------------
+    # copy-on-write storage (same discipline as Octagon)
+    # ------------------------------------------------------------------
+    @property
+    def mat(self) -> np.ndarray:
+        """The DBM (may be shared with aliases; use :meth:`_write_mat`
+        before any in-place mutation)."""
+        return self._cow.arr
+
+    @mat.setter
+    def mat(self, arr: np.ndarray) -> None:
+        self._cow = arr if isinstance(arr, CowMat) else CowMat(arr)
+
+    def _write_mat(self) -> np.ndarray:
+        self._ccache = None
+        return self._cow.written()
+
+    def _cached_closure(self) -> Optional["Zone"]:
+        cc = self._ccache
+        if cc is not None and self._ccache_version == self._cow.version:
+            return cc
+        return None
 
     # ------------------------------------------------------------------
     # constructors
@@ -149,9 +175,16 @@ class Zone:
         return zone
 
     def copy(self) -> "Zone":
-        return Zone(self.n, self.mat.copy(), self.partition.copy(),
-                    closed=self.closed, bottom=self._bottom,
-                    decompose=self.decompose)
+        """O(1) aliasing copy; the partition is shared (immutable by
+        convention) and a valid cached closed form is carried over."""
+        part = self.partition if _cow_enabled() else self.partition.copy()
+        out = Zone(self.n, self._cow.clone(), part,
+                   closed=self.closed, bottom=self._bottom,
+                   decompose=self.decompose)
+        if _cow_enabled():
+            out._ccache = self._ccache
+            out._ccache_version = self._ccache_version
+        return out
 
     # ------------------------------------------------------------------
     # closure
@@ -160,8 +193,10 @@ class Zone:
         """Cached closed copy; the original matrix is preserved."""
         if self._bottom or self.closed:
             return self
-        if self._ccache is not None:
-            return self._ccache
+        cc = self._cached_closure()
+        if cc is not None:
+            stats.bump("closure_cache_hits")
+            return cc
         out = self.copy()
         start = time.perf_counter()
         use_decomposed = (self.decompose and self.partition.blocks and
@@ -169,9 +204,9 @@ class Zone:
         if self.partition.is_empty():
             empty = False
         elif use_decomposed:
-            empty = _close_decomposed(out.mat, self.partition)
+            empty = _close_decomposed(out._write_mat(), self.partition)
         else:
-            empty = _close(out.mat)
+            empty = _close(out._write_mat())
         stats.record_closure(self.n, "zone", time.perf_counter() - start,
                              len(self.partition.blocks))
         if empty:
@@ -181,6 +216,7 @@ class Zone:
                          else Partition.single_block(self.n))
         out.closed = True
         self._ccache = out
+        self._ccache_version = self._cow.version
         return out
 
     def close(self) -> "Zone":
@@ -211,6 +247,8 @@ class Zone:
 
     def is_leq(self, other: "Zone") -> bool:
         self._check(other)
+        if _cow_enabled() and self._cow.arr is other._cow.arr:
+            return True  # COW aliases denote the same abstract value
         if self.is_bottom():
             return True
         if other._bottom:
@@ -295,9 +333,10 @@ class Zone:
             return self.copy()
         out = self.closure().copy()
         with stats.timed_op("forget"):
-            out.mat[v + 1, :] = INF
-            out.mat[:, v + 1] = INF
-            out.mat[v + 1, v + 1] = 0.0
+            m = out._write_mat()
+            m[v + 1, :] = INF
+            m[:, v + 1] = INF
+            m[v + 1, v + 1] = 0.0
             out.partition = out.partition.remove_var(v)
             out.closed = True
         return out
@@ -307,8 +346,9 @@ class Zone:
         if out._bottom:
             return out
         with stats.timed_op("assign"):
-            out.mat[0, v + 1] = c
-            out.mat[v + 1, 0] = -c
+            m = out._write_mat()
+            m[0, v + 1] = c
+            m[v + 1, 0] = -c
             out.partition = out.partition.merge_blocks_containing([v])
             out.closed = False
         return out
@@ -321,12 +361,14 @@ class Zone:
             return out
         with stats.timed_op("assign"):
             changed = False
-            if hi != INF:
-                out.mat[0, v + 1] = hi
-                changed = True
-            if lo != -INF:
-                out.mat[v + 1, 0] = -lo
-                changed = True
+            if hi != INF or lo != -INF:
+                m = out._write_mat()
+                if hi != INF:
+                    m[0, v + 1] = hi
+                    changed = True
+                if lo != -INF:
+                    m[v + 1, 0] = -lo
+                    changed = True
             if changed:
                 out.partition = out.partition.merge_blocks_containing([v])
                 out.closed = False
@@ -348,18 +390,20 @@ class Zone:
                 # m[i, j] bounds x_j - x_i; substituting x_i = x_i' - off
                 # shifts row i down by off and column i up by off.
                 i = v + 1
-                fin_row = np.isfinite(out.mat[i, :])
-                fin_col = np.isfinite(out.mat[:, i])
-                out.mat[i, fin_row] -= offset
-                out.mat[fin_col, i] += offset
-                out.mat[i, i] = 0.0
+                m = out._write_mat()
+                fin_row = np.isfinite(m[i, :])
+                fin_col = np.isfinite(m[:, i])
+                m[i, fin_row] -= offset
+                m[fin_col, i] += offset
+                m[i, i] = 0.0
             return out
         out = self.forget(v)
         if out._bottom:
             return out
         with stats.timed_op("assign"):
-            out.mat[w + 1, v + 1] = offset  # v - w <= offset
-            out.mat[v + 1, w + 1] = -offset
+            m = out._write_mat()
+            m[w + 1, v + 1] = offset  # v - w <= offset
+            m[v + 1, w + 1] = -offset
             out.partition = out.partition.merge_blocks_containing([v, w])
             out.closed = False
         return out
@@ -392,16 +436,17 @@ class Zone:
             return out
         with stats.timed_op("assign"):
             touched = [v]
+            m = out._write_mat()
             if hi != INF:
-                out.mat[0, v + 1] = hi
+                m[0, v + 1] = hi
             if lo != -INF:
-                out.mat[v + 1, 0] = -lo
+                m[v + 1, 0] = -lo
             for w, rlo, rhi in relational:
                 if rhi != INF:
-                    out.mat[w + 1, v + 1] = min(out.mat[w + 1, v + 1], rhi)
+                    m[w + 1, v + 1] = min(m[w + 1, v + 1], rhi)
                     touched.append(w)
                 if rlo != -INF:
-                    out.mat[v + 1, w + 1] = min(out.mat[v + 1, w + 1], -rlo)
+                    m[v + 1, w + 1] = min(m[v + 1, w + 1], -rlo)
                     touched.append(w)
             out.partition = out.partition.merge_blocks_containing(touched)
             out.closed = False
@@ -426,27 +471,29 @@ class Zone:
                     abs(items[0][1]) == 1.0:
                 (va, ca), (vb, _) = items
                 pos, neg = (va, vb) if ca == 1.0 else (vb, va)
-                out.mat[neg + 1, pos + 1] = min(out.mat[neg + 1, pos + 1],
-                                                -expr.const)
+                m = out._write_mat()
+                m[neg + 1, pos + 1] = min(m[neg + 1, pos + 1], -expr.const)
                 out.partition = out.partition.merge_blocks_containing([pos, neg])
                 changed = True
             else:
+                m = None
                 for v, c in items:
                     rest = LinExpr({u: cu for u, cu in coeffs.items() if u != v},
                                    expr.const)
                     rlo, _ = rest.interval(closed.bounds)
                     if rlo == -INF:
                         continue
+                    if m is None:
+                        m = out._write_mat()
                     limit = -rlo / c
                     if c > 0:
-                        out.mat[0, v + 1] = min(out.mat[0, v + 1], limit)
+                        m[0, v + 1] = min(m[0, v + 1], limit)
                     else:
-                        out.mat[v + 1, 0] = min(out.mat[v + 1, 0], -limit)
+                        m[v + 1, 0] = min(m[v + 1, 0], -limit)
                     out.partition = out.partition.merge_blocks_containing([v])
                     changed = True
             if changed:
                 out.closed = False
-                out._ccache = None
         return out
 
     def meet_constraint(self, cons: OctConstraint) -> "Zone":

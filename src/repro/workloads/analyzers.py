@@ -42,6 +42,7 @@ class WorkloadRun:
     closure_inputs: List[tuple] = field(default_factory=list)
     checks_verified: int = 0
     checks_total: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def pct_octagon(self) -> float:
@@ -105,4 +106,5 @@ def run_workload(
         closure_inputs=list(collector.closure_inputs),
         checks_verified=sum(1 for c in result_checks if c.verified),
         checks_total=len(result_checks),
+        counters=collector.counter_summary(),
     )

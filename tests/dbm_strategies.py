@@ -62,6 +62,41 @@ def block_dbms(draw, min_n: int = 2, max_n: int = 8):
     return make_coherent_dbm(n, entries, blocks=blocks), blocks
 
 
+@st.composite
+def octagons(draw, min_n: int = 1, max_n: int = 5):
+    """Random (possibly inconsistent, unclosed) Octagon values."""
+    from repro.core.densemat import count_nni
+    from repro.core.octagon import Octagon
+    from repro.core.partition import Partition
+
+    m = draw(coherent_dbms(min_n, max_n))
+    n = m.shape[0] // 2
+    return Octagon(n, m, Partition.from_matrix(m), count_nni(m))
+
+
+@st.composite
+def octagon_mutations(draw, n: int):
+    """A random in-place mutation, as ``(method_name, args)``.
+
+    These are the internal write paths guarded by the COW layer's
+    ``_write_mat``; public operators copy first and funnel into them.
+    """
+    from repro.core.constraints import OctConstraint
+
+    v = draw(st.integers(0, n - 1))
+    w = draw(st.integers(0, n - 1))
+    c = float(draw(st.integers(-8, 8)))
+    cons = draw(st.sampled_from([
+        OctConstraint.upper(v, c),
+        OctConstraint.lower(v, c),
+        OctConstraint.diff(v, w, c) if v != w else OctConstraint.upper(v, c),
+    ]))
+    return draw(st.sampled_from([
+        ("_meet_constraint_cells", (cons,)),
+        ("_close_in_place", ()),
+    ]))
+
+
 def sample_points(m: np.ndarray, rng: np.random.Generator, count: int = 50):
     """Random concrete points, biased towards a DBM's bound region."""
     n = m.shape[0] // 2

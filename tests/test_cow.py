@@ -1,0 +1,182 @@
+"""The hot-path memory layer: copy-on-write DBM storage, reusable
+kernel workspaces and the versioned closed-form cache.
+
+The layer must be *observationally pure*: every test here pins down a
+way sharing could leak (a write through an alias, stale scratch from a
+previous closure, a cached closed form surviving a mutation, widening
+peeking at a materialised closure) and asserts it does not.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dbm_strategies import coherent_dbms, octagon_mutations, octagons
+from repro.core import Octagon, OctConstraint
+from repro.core import cow, stats, workspace
+from repro.core.closure_dense import closure_dense_numpy
+from repro.core.cow import CowMat
+from repro.core.densemat import new_top
+
+
+class TestCowMat:
+    def test_clone_aliases_until_write(self):
+        a = CowMat(new_top(2))
+        b = a.clone()
+        assert b.arr is a.arr
+        assert a.shared and b.shared
+        written = b.written()
+        assert written is b.arr and written is not a.arr
+        assert not a.shared and not b.shared
+        assert b.version == a.version + 1
+
+    def test_sole_owner_writes_in_place(self):
+        a = CowMat(new_top(2))
+        arr = a.arr
+        assert a.written() is arr  # no copy when unshared
+
+    def test_del_releases_ownership(self):
+        a = CowMat(new_top(2))
+        b = a.clone()
+        assert a.shared
+        del b
+        assert not a.shared
+        assert a.written() is a.arr
+
+    def test_disabled_mode_copies_eagerly(self):
+        a = CowMat(new_top(2))
+        with cow.disabled():
+            b = a.clone()
+        assert b.arr is not a.arr
+        assert not a.shared
+
+    def test_counters_report_the_savings(self):
+        with stats.collecting() as collector:
+            a = CowMat(new_top(2))
+            b = a.clone()
+            c = a.clone()
+            b.written()  # one materialisation
+            del c  # dropped unwritten: a copy avoided
+        summary = collector.counter_summary()
+        assert summary["cow_clones"] == 2
+        assert summary["cow_materializations"] == 1
+        assert summary["copies_avoided"] == 1
+
+
+class TestCowIsolation:
+    @settings(max_examples=60, deadline=None)
+    @given(o=octagons(), data=st.data())
+    def test_mutating_a_copy_never_changes_the_original(self, o, data):
+        snapshot = o.mat.copy()
+        c = o.copy()
+        name, args = data.draw(octagon_mutations(o.n))
+        getattr(c, name)(*args)
+        assert np.array_equal(o.mat, snapshot)
+
+    @settings(max_examples=60, deadline=None)
+    @given(o=octagons(), data=st.data())
+    def test_mutating_the_original_never_changes_a_copy(self, o, data):
+        c = o.copy()
+        snapshot = c.mat.copy()
+        name, args = data.draw(octagon_mutations(o.n))
+        getattr(o, name)(*args)
+        assert np.array_equal(c.mat, snapshot)
+
+    @settings(max_examples=30, deadline=None)
+    @given(o=octagons(), data=st.data())
+    def test_alias_chains_stay_isolated(self, o, data):
+        aliases = [o.copy() for _ in range(3)]
+        snapshots = [a.mat.copy() for a in aliases]
+        name, args = data.draw(octagon_mutations(o.n))
+        victim = data.draw(st.integers(0, 2))
+        getattr(aliases[victim], name)(*args)
+        for i, (alias, snap) in enumerate(zip(aliases, snapshots)):
+            if i != victim:
+                assert np.array_equal(alias.mat, snap)
+
+
+class TestWorkspaceReuse:
+    @settings(max_examples=40, deadline=None)
+    @given(a=coherent_dbms(min_n=3, max_n=3), b=coherent_dbms(min_n=3, max_n=3))
+    def test_no_state_leak_between_closures_at_same_dim(self, a, b):
+        # Reference result with per-call buffers (no sharing possible).
+        ref = b.copy()
+        with workspace.disabled():
+            ref_bottom = closure_dense_numpy(ref)
+        # Poison the shared workspace with an unrelated closure at the
+        # same dimension, then close ``b`` through it.
+        workspace.clear()
+        first = a.copy()
+        closure_dense_numpy(first)
+        out = b.copy()
+        out_bottom = closure_dense_numpy(out)
+        assert out_bottom == ref_bottom
+        if not ref_bottom:
+            assert np.array_equal(out, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(o1=octagons(min_n=2, max_n=4), o2=octagons(min_n=2, max_n=4))
+    def test_interleaved_analyses_match_fresh_buffer_reference(self, o1, o2):
+        def observe(o):
+            closed = o.closure()
+            return [closed.bounds(v) for v in range(o.n)]
+
+        with workspace.disabled(), cow.disabled():
+            ref1, ref2 = observe(o1.copy()), observe(o2.copy())
+        workspace.clear()
+        assert observe(o1.copy()) == ref1
+        assert observe(o2.copy()) == ref2
+        # Again, now with buffers warmed by each other's workload.
+        assert observe(o1.copy()) == ref1
+        assert observe(o2.copy()) == ref2
+
+
+class TestClosureCache:
+    def test_alias_closure_runs_no_kernel(self):
+        o = Octagon.from_constraints(
+            3, [OctConstraint.diff(0, 1, 1.0), OctConstraint.upper(1, 4.0)])
+        with stats.collecting() as collector:
+            closed = o.closure()
+            kernel_runs = len(collector.closures)
+            assert kernel_runs >= 1
+            alias = o.copy()
+            again = alias.closure()
+            assert again is closed
+            assert len(collector.closures) == kernel_runs  # cache hit, no kernel
+            assert collector.counter_summary()["closure_cache_hits"] >= 1
+
+    def test_write_invalidates_only_the_writer(self):
+        o = Octagon.from_constraints(2, [OctConstraint.diff(0, 1, 2.0)])
+        closed = o.closure()
+        alias = o.copy()
+        alias._meet_constraint_cells(OctConstraint.upper(0, 1.0))
+        assert alias._cached_closure() is None
+        assert o._cached_closure() is closed
+        assert alias.closure().bounds(0)[1] <= 1.0
+        assert o.closure() is closed
+
+    def test_widening_observes_the_unclosed_left_argument(self):
+        # x - y <= 0 and y <= 5 imply x <= 5, but only through closure;
+        # the *stored* unary row of x is infinite.  Widening must keep
+        # reading the unclosed matrix even after closure() has cached a
+        # materialised closed form, or widened-away bounds come back and
+        # termination is lost.
+        cons = [OctConstraint.diff(0, 1, 0.0), OctConstraint.upper(1, 5.0)]
+        grown = cons + [OctConstraint.upper(0, 4.0)]
+        fresh = Octagon.from_constraints(2, cons)
+        primed = Octagon.from_constraints(2, cons)
+        primed.closure()  # fills the cache; must not leak into widening
+        other = Octagon.from_constraints(2, grown)
+        w_fresh = fresh.widening(other)
+        w_primed = primed.widening(other)
+        assert np.array_equal(w_fresh.mat, w_primed.mat)
+
+    @settings(max_examples=40, deadline=None)
+    @given(o=octagons(min_n=1, max_n=4))
+    def test_alias_closure_matches_direct_closure(self, o):
+        direct = o.copy().closure()
+        o.closure()
+        via_cache = o.copy().closure()
+        assert direct.is_bottom() == via_cache.is_bottom()
+        if not direct.is_bottom():
+            assert np.array_equal(direct.mat, via_cache.mat)

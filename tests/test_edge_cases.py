@@ -128,9 +128,18 @@ class TestCopySemantics:
         assert c.bounds(0) == (0.0, 1.0)
         assert c2.bounds(0) == (9.0, 9.0)
 
-    def test_closure_cache_not_shared_across_copies(self):
+    def test_closure_cache_carried_but_invalidated_on_write(self):
         o = Octagon.from_constraints(2, [OctConstraint.diff(0, 1, 1.0)])
         closed = o.closure()
         c = o.copy()
-        assert c._ccache is None
+        # The versioned cache survives aliasing: an unmutated copy reuses
+        # the already-computed closed form instead of re-closing ...
+        assert c._cached_closure() is closed
         assert closed.closed
+        # ... but a write through the copy invalidates *its* cache without
+        # touching the original's.
+        c._meet_constraint_cells(OctConstraint.upper(0, 0.25))
+        assert c._cached_closure() is None
+        assert o._cached_closure() is closed
+        assert o.closure() is closed
+        assert c.closure().bounds(0)[1] <= 0.25
