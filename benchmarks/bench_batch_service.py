@@ -1,0 +1,81 @@
+"""Batch service: the full suite through the scheduler and cache.
+
+Four passes over the 17-benchmark suite, all via the same
+``run_suite`` path the CLI uses:
+
+1. inline (``workers=1``, no fork) -- the baseline execution mode;
+2. parallel (``workers=4``) -- the process-pool path; on multi-core
+   hosts this is the wall-clock win, on single-core CI it only proves
+   the fan-out costs little;
+3. cold cached run -- parallel plus a fresh persistent cache;
+4. warm cached run -- every job answered from the cache, no worker
+   processes spawned at all.
+
+The determinism assertions mirror the service tests: every mode must
+produce identical verdicts and exit bounds.
+"""
+
+import os
+import shutil
+import tempfile
+
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.service import ResultCache, run_suite
+
+
+def _measure(scale):
+    inline = run_suite(scale, workers=1)
+    parallel = run_suite(scale, workers=4)
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache = ResultCache(cache_root)
+        cold = run_suite(scale, workers=4, cache=cache)
+        warm = run_suite(scale, workers=4, cache=cache)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    return {"inline": inline, "parallel": parallel, "cold": cold,
+            "warm": warm}
+
+
+def test_batch_service(benchmark, scale):
+    result = run_once(benchmark, lambda: _measure(scale))
+    inline, parallel = result["inline"], result["parallel"]
+    cold, warm = result["cold"], result["warm"]
+
+    rows = [
+        ["inline (jobs=1)", f"{inline.wall_seconds:.3f}", "-", "-"],
+        ["parallel (jobs=4)", f"{parallel.wall_seconds:.3f}",
+         f"{inline.wall_seconds / max(parallel.wall_seconds, 1e-12):.2f}x",
+         "-"],
+        ["cold cache (jobs=4)", f"{cold.wall_seconds:.3f}", "-",
+         f"{cold.cache_hits}/{len(cold.results)}"],
+        ["warm cache", f"{warm.wall_seconds:.3f}",
+         f"{cold.wall_seconds / max(warm.wall_seconds, 1e-12):.0f}x",
+         f"{warm.cache_hits}/{len(warm.results)}"],
+    ]
+    table = format_table(
+        ["mode", "wall s", "speedup", "cache hits"], rows,
+        title=(f"Batch service, 17-benchmark suite, scale={scale}, "
+               f"ncpu={os.cpu_count()}"))
+    print("\n" + table)
+    save_result("batch_service", table)
+    benchmark.extra_info.update({
+        "inline_s": round(inline.wall_seconds, 4),
+        "parallel_s": round(parallel.wall_seconds, 4),
+        "warm_cache_s": round(warm.wall_seconds, 4),
+        "warm_cache_hits": warm.cache_hits,
+    })
+
+    # Every mode completes every job and agrees on what was proved.
+    for batch in (inline, parallel, cold, warm):
+        assert batch.all_ok
+        assert len(batch.results) == 17
+    for seq, par, wrm in zip(inline.results, parallel.results, warm.results):
+        assert seq.verdicts() == par.verdicts() == wrm.verdicts()
+        assert seq.procedures == par.procedures == wrm.procedures
+
+    # The warm pass is served entirely from the persistent cache.
+    assert warm.cache_hits == 17 and warm.cache_misses == 0
+    assert warm.wall_seconds < cold.wall_seconds

@@ -2,8 +2,14 @@
 
 Subcommands:
 
-* ``analyze FILE``      -- run the static analyzer on a mini-language
-                           source file and report assertion results.
+* ``analyze FILE...``   -- run the static analyzer on mini-language
+                           source files and report assertion results
+                           (multiple files route through the batch
+                           service).
+* ``batch FILE...``     -- the batch front door: many programs through
+                           the job scheduler, process-pool workers and
+                           the persistent result cache
+                           (``--suite`` runs the 17-benchmark suite).
 * ``precondition FILE`` -- backward analysis: the necessary
                            precondition of reaching the program exit.
 * ``bench NAME``        -- run one suite benchmark through both octagon
@@ -31,7 +37,9 @@ def _fmt(value: float) -> str:
 
 
 def cmd_analyze(args) -> int:
-    with open(args.file) as fh:
+    if len(args.files) > 1:
+        return _analyze_many(args)
+    with open(args.files[0]) as fh:
         source = fh.read()
     analyzer = Analyzer(domain=args.domain,
                         widening_delay=args.widening_delay)
@@ -55,6 +63,107 @@ def cmd_analyze(args) -> int:
     print(f"{total - failures}/{total} assertions verified "
           f"({args.domain}, {result.seconds:.3f}s)")
     return 1 if failures else 0
+
+
+def _fmt_opt(value) -> str:
+    return "oo" if value is None else f"{value:g}"
+
+
+def _analyze_many(args) -> int:
+    """N>1 files: same report per file, executed via the service.
+
+    Exit-code contract matches the single-file path: nonzero iff any
+    assertion fails to prove (a job that errors or times out has, in
+    particular, not proved its assertions).
+    """
+    from .service import run_batch
+    from .service.job import jobs_from_files
+
+    jobs = jobs_from_files(args.files, domain=args.domain,
+                           widening_delay=args.widening_delay)
+    batch = run_batch(jobs, workers=args.jobs)
+    failures = 0
+    for result in batch.results:
+        print(f"== {result.label} ==")
+        if not result.ok:
+            failures += 1
+            print(f"  {result.outcome}: {result.error}")
+            continue
+        for proc in result.procedures:
+            print(f"proc {proc.name}:")
+            if not proc.reachable:
+                print("  exit: unreachable")
+            else:
+                for name, (lo, hi) in zip(proc.variables, proc.box):
+                    print(f"  {name} in [{_fmt_opt(lo)}, {_fmt_opt(hi)}] "
+                          f"at exit")
+        for check in result.checks:
+            ok = "VERIFIED" if check.verified else "FAILED TO PROVE"
+            failures += 0 if check.verified else 1
+            print(f"  assert({check.cond_text}): {ok}")
+    verified = batch.checks_verified
+    total = batch.checks_total
+    print(f"{verified}/{total} assertions verified over "
+          f"{len(batch.results)} files ({args.domain}, "
+          f"{batch.wall_seconds:.3f}s)")
+    return 1 if failures else 0
+
+
+def cmd_batch(args) -> int:
+    """Batch front door: files (or the suite) through the service."""
+    from .service import ResultCache, run_batch, suite_jobs
+    from .service.job import jobs_from_files
+
+    if args.suite:
+        if args.files:
+            print("batch: give FILE arguments or --suite, not both",
+                  file=sys.stderr)
+            return 2
+        jobs = suite_jobs(args.scale, domain=args.domain)
+    elif args.files:
+        jobs = jobs_from_files(args.files, domain=args.domain)
+    else:
+        print("batch: no input files (pass FILE... or --suite)",
+              file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    batch = run_batch(jobs, workers=args.jobs, timeout=args.timeout,
+                      cache=cache)
+
+    width = max((len(r.label) for r in batch.results), default=0)
+    for result in batch.results:
+        note = " (cached)" if result.cached else ""
+        if result.ok:
+            detail = (f"{result.checks_verified}/{result.checks_total} "
+                      f"verified  {result.seconds:7.3f}s")
+        else:
+            detail = result.error or result.outcome
+        print(f"{result.label:{width}s}  {result.outcome:7s}  {detail}{note}")
+    counts = batch.outcome_counts()
+    summary = ", ".join(f"{counts.get(k, 0)} {k}"
+                        for k in ("ok", "timeout", "error"))
+    print(f"batch: {len(batch.results)} jobs in {batch.wall_seconds:.3f}s "
+          f"with {batch.workers} worker(s) ({summary})")
+    if cache is not None:
+        print(f"cache: {batch.cache_hits} hits, {batch.cache_misses} misses, "
+              f"{cache.evictions} evictions ({cache.dir})")
+
+    if args.json:
+        from .core.serialize import job_result_to_dict
+        import json as _json
+
+        document = {
+            "wall_seconds": batch.wall_seconds,
+            "workers": batch.workers,
+            "cache_hits": batch.cache_hits,
+            "cache_misses": batch.cache_misses,
+            "jobs": [job_result_to_dict(r) for r in batch.results],
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(document, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if batch.all_ok else 1
 
 
 def cmd_precondition(args) -> int:
@@ -125,12 +234,39 @@ def main(argv=None) -> int:
                     "Fast' (PLDI 2015)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="analyze a source file")
-    p.add_argument("file")
+    p = sub.add_parser("analyze", help="analyze one or more source files")
+    p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--domain", default="octagon",
                    choices=["octagon", "apron", "interval", "zone", "pentagon"])
     p.add_argument("--widening-delay", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes when analyzing several files "
+                        "(default: cpu count)")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "batch",
+        help="run many programs through the batch analysis service")
+    p.add_argument("files", nargs="*", metavar="FILE")
+    p.add_argument("--suite", action="store_true",
+                   help="run the 17-benchmark suite instead of files")
+    p.add_argument("--scale", default=None,
+                   choices=["small", "paper", "large"],
+                   help="suite scale (default: REPRO_BENCH_SCALE or paper)")
+    p.add_argument("--domain", default="octagon",
+                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: cpu count; 1 = inline)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the persistent result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
+    p.add_argument("--json", default=None, metavar="OUT",
+                   help="also write the batch report as JSON")
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("precondition",
                        help="necessary precondition of reaching the exit")

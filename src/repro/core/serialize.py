@@ -13,7 +13,9 @@ Two formats:
 Plus :func:`analysis_report` for exporting an
 :class:`~repro.analysis.analyzer.AnalysisResult` as a JSON document
 (per-procedure exit boxes and check outcomes), which the CLI and
-benchmark tooling can archive.
+benchmark tooling can archive, and the batch-service result schema
+(:func:`job_result_to_dict` / :func:`job_result_from_dict`) shared by
+persistent cache entries and ``python -m repro batch --json`` output.
 """
 
 from __future__ import annotations
@@ -125,9 +127,80 @@ def analysis_report(result) -> Dict:
     }
 
 
+# ----------------------------------------------------------------------
+# batch-service job results
+# ----------------------------------------------------------------------
+#: Version of the JobResult wire schema (cache entries, ``--json``).
+JOB_RESULT_SCHEMA = 1
+
+
+def job_result_to_dict(result) -> Dict:
+    """Serialise a :class:`~repro.service.job.JobResult` to plain data.
+
+    The inverse of :func:`job_result_from_dict`; the round trip is
+    exact (``from_dict(to_dict(r)) == r``), which is what lets cache
+    entries, ``--json`` reports and in-memory results share one schema.
+    """
+    return {
+        "schema": JOB_RESULT_SCHEMA,
+        "key": result.key,
+        "label": result.label,
+        "domain": result.domain,
+        "outcome": result.outcome,
+        "seconds": result.seconds,
+        "octagon_seconds": result.octagon_seconds,
+        "attempts": result.attempts,
+        "error": result.error,
+        "cached": result.cached,
+        "checks": [[c.procedure, c.cond_text, bool(c.verified)]
+                   for c in result.checks],
+        "procedures": [{
+            "name": p.name,
+            "variables": list(p.variables),
+            "reachable": bool(p.reachable),
+            "box": [[lo, hi] for lo, hi in p.box],
+        } for p in result.procedures],
+        "counters": {str(k): int(v) for k, v in result.counters.items()},
+    }
+
+
+def job_result_from_dict(raw: Dict):
+    """Rebuild a :class:`~repro.service.job.JobResult` from its dict form."""
+    from ..service.job import CheckVerdict, JobResult, ProcedureSummary
+
+    if raw.get("schema") != JOB_RESULT_SCHEMA:
+        raise ValueError(f"unsupported job-result schema {raw.get('schema')!r}")
+    checks = [CheckVerdict(str(proc), str(cond), bool(ok))
+              for proc, cond, ok in raw["checks"]]
+    procedures = [ProcedureSummary(
+        name=str(p["name"]),
+        variables=[str(v) for v in p["variables"]],
+        reachable=bool(p["reachable"]),
+        box=[[None if lo is None else float(lo),
+              None if hi is None else float(hi)] for lo, hi in p["box"]],
+    ) for p in raw["procedures"]]
+    return JobResult(
+        key=str(raw["key"]),
+        label=str(raw["label"]),
+        domain=str(raw["domain"]),
+        outcome=str(raw["outcome"]),
+        seconds=float(raw["seconds"]),
+        octagon_seconds=float(raw["octagon_seconds"]),
+        attempts=int(raw["attempts"]),
+        error=raw["error"],
+        checks=checks,
+        procedures=procedures,
+        counters={str(k): int(v) for k, v in raw["counters"].items()},
+        cached=bool(raw.get("cached", False)),
+    )
+
+
 __all__ = [
     "FORMAT_VERSION",
+    "JOB_RESULT_SCHEMA",
     "analysis_report",
+    "job_result_from_dict",
+    "job_result_to_dict",
     "octagon_from_dict",
     "octagon_from_json",
     "octagon_load_npz",

@@ -19,7 +19,9 @@ Three consumers drive the design:
   ``cow_materializations``, ``workspace_hits`` and
   ``closure_cache_hits``) via :func:`bump`; the benchmark harness
   persists them so trajectories capture allocation behaviour, not just
-  wall time.
+  wall time.  The batch service's persistent result cache
+  (:mod:`repro.service.cache`) reports ``result_cache_hits`` /
+  ``result_cache_misses`` / ``result_cache_evictions`` the same way.
 
 A single module-level :class:`StatsCollector` is active at a time; the
 :func:`collecting` context manager installs a fresh one.  When no
@@ -168,6 +170,10 @@ class StatsCollector:
             "workspace_hits": merged.get("workspace_hits", 0),
             "workspace_misses": merged.get("workspace_misses", 0),
             "closure_cache_hits": merged.get("closure_cache_hits", 0),
+            # Batch-service persistent result cache (repro.service.cache).
+            "result_cache_hits": merged.get("result_cache_hits", 0),
+            "result_cache_misses": merged.get("result_cache_misses", 0),
+            "result_cache_evictions": merged.get("result_cache_evictions", 0),
         }
 
 

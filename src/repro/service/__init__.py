@@ -1,0 +1,42 @@
+"""Batch analysis service: jobs, scheduler, persistent result cache.
+
+The one-shot :class:`~repro.analysis.analyzer.Analyzer` answers a single
+``analyze(source)`` call; production traffic looks like the paper's own
+evaluation instead -- *many* independent programs (Table 3 runs 17
+benchmarks end to end) whose mutual independence makes them
+embarrassingly parallel and whose results are worth reusing across
+runs.  This subsystem is that batch layer:
+
+* :mod:`repro.service.job` -- the job model: an :class:`AnalysisJob`
+  (source + domain + options) with a content-addressed key, and a
+  structured, picklable :class:`JobResult` carrying verdicts, exit
+  boxes, timings and the hot-path memory counters.
+* :mod:`repro.service.scheduler` -- :func:`run_batch`: a work queue
+  feeding one-process-per-job workers with bounded concurrency,
+  per-job wall-clock timeouts, bounded retries for transient worker
+  death, and an inline (no-fork) mode at ``workers=1``.
+* :mod:`repro.service.cache` -- :class:`ResultCache`: a
+  content-addressed JSON-on-disk store, version-stamped so stale
+  entries self-invalidate.
+* :mod:`repro.service.suite` -- :func:`run_suite`: the whole
+  17-benchmark suite through the service, the execution path shared by
+  the CLI (``python -m repro batch``) and the benchmark harness.
+"""
+
+from .cache import ResultCache
+from .job import AnalysisJob, CheckVerdict, JobResult, ProcedureSummary, execute_job
+from .scheduler import BatchResult, run_batch
+from .suite import run_suite, suite_jobs
+
+__all__ = [
+    "AnalysisJob",
+    "BatchResult",
+    "CheckVerdict",
+    "JobResult",
+    "ProcedureSummary",
+    "ResultCache",
+    "execute_job",
+    "run_batch",
+    "run_suite",
+    "suite_jobs",
+]

@@ -1,0 +1,157 @@
+"""Persistent, content-addressed result cache for the batch service.
+
+Layout: one JSON file per job under ``<root>/v<version>/<key>.json``,
+where ``root`` defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``
+and ``version`` is the package version.  Keying the directory *and*
+stamping every entry with the version means a package upgrade
+invalidates the whole store passively -- old entries are simply never
+looked up again -- while a corrupted or mis-stamped file found under
+the live directory is evicted on contact.
+
+Counters: the cache keeps its own ``hits``/``misses``/``evictions``
+totals for CLI reporting and also bumps the same names (prefixed
+``result_cache_``) through :func:`repro.core.stats.bump`, so an active
+stats collector sees cache behaviour next to the octagon hot-path
+counters.
+
+Writes are atomic (temp file + ``os.replace``) so a batch killed
+mid-write never leaves a truncated entry, and only ``outcome="ok"``
+results are stored -- timeouts and errors are environmental, not
+properties of the job content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .. import __version__
+from ..core import stats
+from ..core.serialize import job_result_from_dict, job_result_to_dict
+from .job import OUTCOME_OK, JobResult
+
+_KEY_SUFFIX = ".json"
+
+
+def default_cache_root() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+class ResultCache:
+    """Content-addressed JSON-on-disk store of :class:`JobResult`\\ s."""
+
+    def __init__(self, root: Optional[str] = None, *,
+                 version: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_cache_root())
+        self.version = version if version is not None else __version__
+        self.dir = self.root / f"v{self.version}"
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}{_KEY_SUFFIX}"
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """The cached result for ``key``, or None on miss.
+
+        A hit is returned with ``cached=True``.  Unreadable, corrupt or
+        version-mismatched entries are evicted and count as misses.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            if entry.get("repro_version") != self.version:
+                raise ValueError("version stamp mismatch")
+            result = job_result_from_dict(entry["result"])
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self._evict(path)
+            self._miss()
+            return None
+        self.hits += 1
+        stats.bump("result_cache_hits")
+        result.cached = True
+        return result
+
+    def put(self, key: str, result: JobResult) -> bool:
+        """Store an ``ok`` result atomically; returns True if written."""
+        if result.outcome != OUTCOME_OK:
+            return False
+        self.dir.mkdir(parents=True, exist_ok=True)
+        entry = {"repro_version": self.version,
+                 "result": job_result_to_dict(result)}
+        fd, tmp = tempfile.mkstemp(dir=str(self.dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+    def _miss(self) -> None:
+        self.misses += 1
+        stats.bump("result_cache_misses")
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.evictions += 1
+        stats.bump("result_cache_evictions")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        try:
+            return sum(1 for p in self.dir.iterdir()
+                       if p.suffix == _KEY_SUFFIX)
+        except OSError:
+            return 0
+
+    def prune_stale(self) -> int:
+        """Delete entries left by other package versions; returns count."""
+        removed = 0
+        try:
+            versions = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for child in versions:
+            if not child.is_dir() or child == self.dir:
+                continue
+            if not child.name.startswith("v"):
+                continue
+            removed += sum(1 for p in child.iterdir()
+                           if p.suffix == _KEY_SUFFIX)
+            shutil.rmtree(child, ignore_errors=True)
+            self.evictions += 1
+            stats.bump("result_cache_evictions")
+        return removed
+
+    def clear(self) -> None:
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def counter_summary(self) -> dict:
+        return {"result_cache_hits": self.hits,
+                "result_cache_misses": self.misses,
+                "result_cache_evictions": self.evictions,
+                "result_cache_stores": self.stores}

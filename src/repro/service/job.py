@@ -1,0 +1,200 @@
+"""The batch job model: content-addressed jobs, structured results.
+
+An :class:`AnalysisJob` is everything needed to reproduce one analysis:
+the source text plus the analyzer options that influence its outcome.
+Its :meth:`~AnalysisJob.key` is the SHA-256 of the source and the
+*normalised* options, so two jobs with the same semantics share a key
+regardless of option ordering or tuple-vs-list spelling -- the property
+the persistent result cache relies on.
+
+A :class:`JobResult` is deliberately dumb data: strings, floats, bools,
+lists and dicts only.  It crosses process boundaries by pickling (the
+scheduler's workers ship it back over a pipe) and round-trips through
+JSON (:func:`repro.core.serialize.job_result_to_dict`), which is the
+single schema shared by cache entries and ``--json`` output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_ERROR = "error"
+
+OUTCOMES = (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_ERROR)
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One unit of batch work: a source program plus analyzer options."""
+
+    source: str
+    label: str = ""
+    domain: str = "octagon"
+    widening_delay: int = 2
+    narrowing_steps: int = 3
+    widening_thresholds: Tuple[float, ...] = ()
+    integer_mode: bool = True
+
+    def options(self) -> Dict[str, object]:
+        """The analyzer options in normalised (JSON-stable) form.
+
+        ``label`` is presentation only and deliberately excluded: the
+        same program under the same options is the same job whatever a
+        caller chooses to call it.
+        """
+        return {
+            "domain": self.domain,
+            "widening_delay": int(self.widening_delay),
+            "narrowing_steps": int(self.narrowing_steps),
+            "widening_thresholds": [float(t) for t in self.widening_thresholds],
+            "integer_mode": bool(self.integer_mode),
+        }
+
+    def key(self) -> str:
+        """Content-addressed identity: SHA-256 of source + options."""
+        payload = json.dumps({"source": self.source, "options": self.options()},
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CheckVerdict:
+    """Outcome of one assertion, in plain-data form."""
+
+    procedure: str
+    cond_text: str
+    verified: bool
+
+
+@dataclass
+class ProcedureSummary:
+    """Exit invariant of one procedure: variable bounds as a box.
+
+    Bounds use ``None`` for an infinite endpoint so the summary is
+    JSON-clean; ``box`` entries are two-element ``[lo, hi]`` lists.
+    """
+
+    name: str
+    variables: List[str]
+    reachable: bool
+    box: List[List[Optional[float]]]
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job: verdicts, bounds, timings, counters.
+
+    ``outcome`` is the failure taxonomy: ``ok`` (analysis completed --
+    which says nothing about whether its assertions were *proved*),
+    ``timeout`` (the scheduler killed the worker at the deadline) or
+    ``error`` (the analysis raised, or the worker died, beyond the
+    retry budget).  ``cached`` marks results served from the persistent
+    cache and is excluded from equality so a cache hit compares equal
+    to the fresh result it stored.
+    """
+
+    key: str
+    label: str
+    domain: str
+    outcome: str
+    seconds: float = 0.0
+    octagon_seconds: float = 0.0
+    attempts: int = 1
+    error: Optional[str] = None
+    checks: List[CheckVerdict] = field(default_factory=list)
+    procedures: List[ProcedureSummary] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    cached: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+    @property
+    def checks_total(self) -> int:
+        return len(self.checks)
+
+    @property
+    def checks_verified(self) -> int:
+        return sum(1 for c in self.checks if c.verified)
+
+    @property
+    def all_verified(self) -> bool:
+        """True iff the analysis completed and proved every assertion."""
+        return self.ok and all(c.verified for c in self.checks)
+
+    def verdicts(self) -> List[Tuple[str, str, bool]]:
+        """The assertion verdicts as comparable plain tuples."""
+        return [(c.procedure, c.cond_text, c.verified) for c in self.checks]
+
+
+def _bound(value: float) -> Optional[float]:
+    from ..core.bounds import INF
+
+    if value == INF or value == -INF:
+        return None
+    return float(value)
+
+
+def execute_job(job: AnalysisJob) -> JobResult:
+    """Run one job to completion in the current process.
+
+    This is the scheduler's default worker; exceptions propagate so the
+    scheduler can apply its retry/error policy.  A fresh stats
+    collector scopes the hot-path memory counters to this job.
+    """
+    from ..analysis.analyzer import Analyzer
+    from ..core import stats
+
+    analyzer = Analyzer(
+        domain=job.domain,
+        widening_delay=job.widening_delay,
+        narrowing_steps=job.narrowing_steps,
+        widening_thresholds=job.widening_thresholds,
+        integer_mode=job.integer_mode,
+    )
+    with stats.collecting() as collector:
+        result = analyzer.analyze(job.source)
+
+    checks = [CheckVerdict(c.procedure, c.cond_text, c.verified)
+              for c in result.checks]
+    procedures: List[ProcedureSummary] = []
+    for proc in result.procedures:
+        state = proc.invariant_at_exit()
+        reachable = not state.is_bottom()
+        box: List[List[Optional[float]]] = []
+        if reachable:
+            box = [[_bound(lo), _bound(hi)] for lo, hi in state.to_box()]
+        procedures.append(ProcedureSummary(
+            name=proc.name,
+            variables=list(proc.cfg.variables),
+            reachable=reachable,
+            box=box,
+        ))
+    counters = dict(collector.counter_summary())
+    counters["closures"] = int(collector.closure_stats()["closures"])
+    return JobResult(
+        key=job.key(),
+        label=job.label,
+        domain=job.domain,
+        outcome=OUTCOME_OK,
+        seconds=result.seconds,
+        octagon_seconds=collector.total_seconds + collector.closure_seconds,
+        checks=checks,
+        procedures=procedures,
+        counters=counters,
+    )
+
+
+def jobs_from_files(paths: Sequence[str], **options) -> List[AnalysisJob]:
+    """Build one job per source file, labelled with the file path."""
+    jobs = []
+    for path in paths:
+        with open(path) as fh:
+            jobs.append(AnalysisJob(source=fh.read(), label=str(path), **options))
+    return jobs

@@ -1,0 +1,302 @@
+"""Work queue + process workers with timeouts, retries and a cache.
+
+:func:`run_batch` is the service's execution engine.  Design points:
+
+* **One process per job, bounded concurrency.**  Jobs are short
+  analyses; recycling long-lived pool workers would save fork cost but
+  make per-job wall-clock timeouts messy (killing a pool worker kills
+  its queue).  A dedicated process per job means a timeout is just
+  ``terminate()`` -- sibling jobs never notice, which is the graceful
+  degradation the paper-style batch needs when one benchmark is
+  pathological.  At most ``workers`` processes run at once.
+* **Failure taxonomy.**  A job that exceeds ``timeout`` seconds is
+  killed and reported ``outcome="timeout"`` (not retried: the same
+  input would time out again).  A worker that raises, or dies without
+  reporting (segfault, OOM-kill), is retried up to ``retries`` times
+  and then reported ``outcome="error"`` with the traceback or exit
+  code.  The batch itself always completes with one result per job, in
+  input order.
+* **Inline mode.**  ``workers=1`` runs every job in the calling
+  process -- no fork, deterministic output ordering, breakpoints work.
+  Timeouts are not enforced inline (there is no one to do the
+  killing); retries still apply.  Tests assert that inline and
+  parallel runs produce identical verdicts and bounds.
+* **Cache short-circuit.**  With a :class:`ResultCache`, each job's
+  key is looked up before any process is spawned; hits come back
+  ``cached=True`` and only misses are scheduled.  Completed ``ok``
+  results are stored as they arrive, so even an interrupted batch
+  warms the cache.
+
+The start method prefers ``fork`` (cheap, no pickling of the worker
+callable) and falls back to the platform default where fork is
+unavailable; custom ``worker`` callables must be module-level (or
+otherwise picklable) to support the fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .job import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AnalysisJob,
+    JobResult,
+    execute_job,
+)
+
+#: Grace period for ``join()`` after ``terminate()`` before escalating.
+_KILL_GRACE_S = 5.0
+
+
+@dataclass
+class BatchResult:
+    """One completed batch: per-job results (input order) + totals."""
+
+    results: List[JobResult]
+    wall_seconds: float
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def checks_total(self) -> int:
+        return sum(r.checks_total for r in self.results)
+
+    @property
+    def checks_verified(self) -> int:
+        return sum(r.checks_verified for r in self.results)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
+    def counters(self) -> Dict[str, int]:
+        """Hot-path counters summed over all non-cached job results."""
+        total: Dict[str, int] = {}
+        for r in self.results:
+            if r.cached:
+                continue
+            for name, value in r.counters.items():
+                total[name] = total.get(name, 0) + value
+        return total
+
+
+def default_workers() -> int:
+    return os.cpu_count() or 1
+
+
+def _context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _worker_main(conn, worker: Callable[[AnalysisJob], JobResult],
+                 job: AnalysisJob) -> None:
+    """Child-process entry: run the job, ship the outcome, exit."""
+    try:
+        result = worker(job)
+        conn.send(("ok", result))
+    except BaseException:
+        try:
+            conn.send(("raised", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+def _timeout_result(job: AnalysisJob, timeout: float, attempt: int) -> JobResult:
+    return JobResult(key=job.key(), label=job.label, domain=job.domain,
+                     outcome=OUTCOME_TIMEOUT, seconds=float(timeout),
+                     attempts=attempt,
+                     error=f"exceeded {timeout:g}s wall-clock timeout")
+
+
+def _error_result(job: AnalysisJob, message: str, attempt: int) -> JobResult:
+    return JobResult(key=job.key(), label=job.label, domain=job.domain,
+                     outcome=OUTCOME_ERROR, attempts=attempt, error=message)
+
+
+@dataclass
+class _Running:
+    proc: object
+    idx: int
+    attempt: int
+    deadline: Optional[float]
+    started: float = field(default_factory=time.monotonic)
+
+
+def run_batch(
+    jobs: Sequence[AnalysisJob],
+    *,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    cache: Optional[ResultCache] = None,
+    worker: Callable[[AnalysisJob], JobResult] = execute_job,
+) -> BatchResult:
+    """Run ``jobs`` through the service; one result per job, in order.
+
+    ``workers=None`` uses :func:`default_workers` (``os.cpu_count()``),
+    capped at the number of jobs.  ``retries`` is the number of *extra*
+    attempts granted after a worker raises or dies; timeouts are final.
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(int(workers), max(len(jobs), 1)))
+    start = time.perf_counter()
+
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    cache_hits = cache_misses = 0
+    pending: List[int] = []
+    for idx, job in enumerate(jobs):
+        if cache is not None:
+            hit = cache.get(job.key())
+            if hit is not None:
+                results[idx] = hit
+                cache_hits += 1
+                continue
+            cache_misses += 1
+        pending.append(idx)
+
+    if workers == 1:
+        _run_inline(jobs, pending, results, retries=retries, cache=cache,
+                    worker=worker)
+    else:
+        _run_pool(jobs, pending, results, workers=workers, timeout=timeout,
+                  retries=retries, cache=cache, worker=worker)
+
+    assert all(r is not None for r in results)
+    return BatchResult(results=list(results),
+                       wall_seconds=time.perf_counter() - start,
+                       workers=workers,
+                       cache_hits=cache_hits, cache_misses=cache_misses)
+
+
+def _store(cache: Optional[ResultCache], job: AnalysisJob,
+           result: JobResult) -> None:
+    if cache is not None and result.outcome == OUTCOME_OK:
+        cache.put(job.key(), result)
+
+
+def _run_inline(jobs, pending, results, *, retries, cache, worker) -> None:
+    """``workers=1``: execute in the calling process, no fork."""
+    for idx in pending:
+        job = jobs[idx]
+        attempt = 1
+        while True:
+            try:
+                result = worker(job)
+                result.attempts = attempt
+                break
+            except Exception:
+                if attempt <= retries:
+                    attempt += 1
+                    continue
+                result = _error_result(job, traceback.format_exc(), attempt)
+                break
+        results[idx] = result
+        _store(cache, job, result)
+
+
+def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
+              worker) -> None:
+    """Bounded process fan-out with per-job deadlines."""
+    ctx = _context()
+    queue = [(idx, 1) for idx in pending]  # (job index, attempt number)
+    queue.reverse()  # pop() from the end keeps input order
+    running: Dict[object, _Running] = {}  # recv conn -> bookkeeping
+
+    def launch(idx: int, attempt: int) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_worker_main,
+                           args=(send_conn, worker, jobs[idx]), daemon=True)
+        proc.start()
+        send_conn.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        running[recv_conn] = _Running(proc, idx, attempt, deadline)
+
+    def reap(conn, entry: _Running, result: JobResult) -> None:
+        entry.proc.join()
+        conn.close()
+        del running[conn]
+        results[entry.idx] = result
+        _store(cache, jobs[entry.idx], result)
+
+    def retry_or_fail(conn, entry: _Running, message: str) -> None:
+        entry.proc.join()
+        conn.close()
+        del running[conn]
+        if entry.attempt <= retries:
+            queue.append((entry.idx, entry.attempt + 1))
+        else:
+            results[entry.idx] = _error_result(jobs[entry.idx], message,
+                                               entry.attempt)
+
+    while queue or running:
+        while queue and len(running) < workers:
+            idx, attempt = queue.pop()
+            launch(idx, attempt)
+
+        deadlines = [r.deadline for r in running.values()
+                     if r.deadline is not None]
+        wait_for = None
+        if deadlines:
+            wait_for = max(0.0, min(deadlines) - time.monotonic())
+        watch = []
+        for conn, entry in running.items():
+            watch.append(conn)
+            watch.append(entry.proc.sentinel)
+        ready = set(mp_connection.wait(watch, timeout=wait_for))
+
+        now = time.monotonic()
+        for conn, entry in list(running.items()):
+            expired = entry.deadline is not None and now >= entry.deadline
+            signalled = conn in ready or entry.proc.sentinel in ready
+            if not (signalled or expired):
+                continue
+            if conn.poll():
+                # The worker reported before exiting (possibly right at
+                # the deadline -- a delivered result beats a timeout).
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    entry.proc.join()
+                    retry_or_fail(conn, entry,
+                                  "worker died before reporting "
+                                  f"(exit code {entry.proc.exitcode})")
+                    continue
+                if status == "ok":
+                    payload.attempts = entry.attempt
+                    reap(conn, entry, payload)
+                else:  # the worker raised; retry, then report the traceback
+                    retry_or_fail(conn, entry, payload)
+            elif not entry.proc.is_alive():
+                retry_or_fail(
+                    conn, entry,
+                    f"worker died with exit code {entry.proc.exitcode}")
+            elif expired:
+                entry.proc.terminate()
+                entry.proc.join(_KILL_GRACE_S)
+                if entry.proc.is_alive():
+                    entry.proc.kill()
+                    entry.proc.join()
+                reap(conn, entry,
+                     _timeout_result(jobs[entry.idx], timeout, entry.attempt))

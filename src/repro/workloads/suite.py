@@ -56,6 +56,14 @@ class Benchmark:
             raise ValueError(f"unknown scale {scale!r}")
         return self.source_builder(scale)
 
+    def job(self, scale: Optional[str] = None, *, domain: str = "octagon",
+            **options):
+        """This benchmark as a batch-service job (labelled by name)."""
+        from ..service.job import AnalysisJob
+
+        return AnalysisJob(source=self.source(scale), label=self.name,
+                           domain=domain, **options)
+
 
 def _cpa(name: str, seed: int, nvars: Dict[str, int], loops: Dict[str, int]):
     def build(scale: str) -> str:

@@ -35,6 +35,26 @@ class TestAnalyze:
         proc = run_cli("analyze", str(src), "--domain", domain)
         assert proc.returncode == 0, proc.stderr
 
+    def test_analyze_multiple_files(self, tmp_path):
+        ok = tmp_path / "ok.mini"
+        ok.write_text("x = [0, 4]; y = x + 1; assert(y <= 5);")
+        ok2 = tmp_path / "ok2.mini"
+        ok2.write_text("z = 3; assert(z == 3);")
+        proc = run_cli("analyze", str(ok), str(ok2), "--jobs", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert f"== {ok} ==" in proc.stdout
+        assert f"== {ok2} ==" in proc.stdout
+        assert "2/2 assertions verified over 2 files" in proc.stdout
+
+    def test_analyze_multiple_files_exit_code(self, tmp_path):
+        ok = tmp_path / "ok.mini"
+        ok.write_text("x = 1; assert(x == 1);")
+        bad = tmp_path / "bad.mini"
+        bad.write_text("x = [0, 4]; assert(x <= 3);")
+        proc = run_cli("analyze", str(ok), str(bad), "--jobs", "1")
+        assert proc.returncode == 1
+        assert "FAILED TO PROVE" in proc.stdout
+
 
 class TestPrecondition:
     def test_precondition(self, tmp_path):
@@ -49,6 +69,71 @@ class TestPrecondition:
         src.write_text("assume(false);")
         proc = run_cli("precondition", str(src))
         assert "false (the exit is unreachable)" in proc.stdout
+
+
+class TestBatch:
+    def _sources(self, tmp_path):
+        a = tmp_path / "a.mini"
+        a.write_text("x = [0, 4]; y = x + 1; assert(y <= 5);")
+        b = tmp_path / "b.mini"
+        b.write_text("z = 3; assert(z == 3);")
+        return a, b
+
+    def _env(self, tmp_path):
+        import os
+
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        return env
+
+    def test_batch_files_and_cache_warmup(self, tmp_path):
+        a, b = self._sources(tmp_path)
+        env = self._env(tmp_path)
+        cold = run_cli("batch", str(a), str(b), "--jobs", "2", env=env)
+        assert cold.returncode == 0, cold.stderr
+        assert "2 ok, 0 timeout, 0 error" in cold.stdout
+        assert "cache: 0 hits, 2 misses" in cold.stdout
+        warm = run_cli("batch", str(a), str(b), "--jobs", "2", env=env)
+        assert warm.returncode == 0, warm.stderr
+        assert "cache: 2 hits, 0 misses" in warm.stdout
+        assert warm.stdout.count("(cached)") == 2
+
+    def test_batch_no_cache(self, tmp_path):
+        a, b = self._sources(tmp_path)
+        proc = run_cli("batch", str(a), str(b), "--jobs", "1", "--no-cache",
+                       env=self._env(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "cache:" not in proc.stdout
+
+    def test_batch_json_report(self, tmp_path):
+        import json
+
+        a, b = self._sources(tmp_path)
+        out = tmp_path / "report.json"
+        proc = run_cli("batch", str(a), str(b), "--jobs", "1", "--no-cache",
+                       "--json", str(out), env=self._env(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert len(report["jobs"]) == 2
+        assert all(j["schema"] == 1 and j["outcome"] == "ok"
+                   for j in report["jobs"])
+        assert report["jobs"][0]["label"] == str(a)
+
+    def test_batch_timeout_flag(self, tmp_path):
+        a, b = self._sources(tmp_path)
+        proc = run_cli("batch", str(a), str(b), "--jobs", "2", "--no-cache",
+                       "--timeout", "120", env=self._env(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_batch_requires_input(self, tmp_path):
+        proc = run_cli("batch", env=self._env(tmp_path))
+        assert proc.returncode == 2
+        assert "no input files" in proc.stderr
+
+    def test_batch_suite_conflicts_with_files(self, tmp_path):
+        a, _ = self._sources(tmp_path)
+        proc = run_cli("batch", str(a), "--suite", env=self._env(tmp_path))
+        assert proc.returncode == 2
 
 
 class TestSuiteAndDemo:

@@ -104,3 +104,41 @@ class TestAnalysisReport:
         result = analyze_source("havoc(x);")
         report = analysis_report(result)
         assert report["procedures"][0]["exit_box"]["x"] == [None, None]
+
+
+class TestJobResultRoundtrip:
+    """Cache entries and --json output share one JobResult schema."""
+
+    def _roundtrip(self, result):
+        from repro.core.serialize import (job_result_from_dict,
+                                          job_result_to_dict)
+        raw = job_result_to_dict(result)
+        # Through actual JSON text: what the cache writes to disk.
+        restored = job_result_from_dict(json.loads(json.dumps(raw)))
+        assert restored == result
+        return raw
+
+    def test_ok_result_roundtrips(self):
+        from repro.service import AnalysisJob, execute_job
+        result = execute_job(AnalysisJob(
+            source="assume(x >= 0); y = x + 1; assert(y >= 1);",
+            label="rt"))
+        raw = self._roundtrip(result)
+        assert raw["schema"] == 1
+        assert raw["outcome"] == "ok"
+        # Unbounded endpoints serialise as null, not infinities.
+        (proc,) = raw["procedures"]
+        assert [0.0, None] in proc["box"]
+
+    def test_failure_results_roundtrip(self):
+        from repro.service.job import JobResult
+        for outcome, error in (("timeout", "exceeded 5s wall-clock timeout"),
+                               ("error", "Traceback ...")):
+            self._roundtrip(JobResult(key="a" * 64, label="x",
+                                      domain="octagon", outcome=outcome,
+                                      attempts=2, error=error))
+
+    def test_unknown_schema_rejected(self):
+        from repro.core.serialize import job_result_from_dict
+        with pytest.raises(ValueError):
+            job_result_from_dict({"schema": 99})
