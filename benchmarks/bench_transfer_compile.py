@@ -1,0 +1,135 @@
+"""Compiled transfer plans: end-to-end compiled-vs-interpreted ablation.
+
+Runs every suite benchmark through the optimised octagon analyzer twice
+in-process: once interpreting edge actions on every fixpoint iteration
+(``compile_transfer=False`` -- the pre-optimisation path) and once
+executing the per-edge compiled plans.  Both modes run the identical
+abstract operations (the plan layer is matrix-identical by
+construction, enforced by ``tests/test_plan.py``), so the ratio
+isolates the constant-factor win of compiling the driver loop.
+
+Honesty rules: per-program numbers are reported individually --
+including any no-win programs -- and the counters prove the layer
+engaged (``plans_compiled``/``plan_exec`` non-zero compiled, zero
+interpreted).  Modes are interleaved per round and each benchmark keeps
+its fastest round per mode (deterministic workloads, so the minimum is
+the least-noise estimate).
+"""
+
+import gc
+
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.workloads import BENCHMARKS, run_workload
+
+_ROUNDS = 5
+
+
+def _measure(scale):
+    # Warm imports/caches outside the timed region.
+    run_workload(BENCHMARKS[0], "octagon", scale="small")
+    run_workload(BENCHMARKS[0], "octagon", scale="small",
+                 compile_transfer=False)
+
+    best = {}  # (name, mode) -> (seconds, run)
+    for _ in range(_ROUNDS):
+        for compiled in (False, True):
+            gc.collect()
+            for bench in BENCHMARKS:
+                run = run_workload(bench, "octagon", scale=scale,
+                                   compile_transfer=compiled)
+                key = (bench.name, compiled)
+                if key not in best or run.total_seconds < best[key][0]:
+                    best[key] = (run.total_seconds, run)
+
+    rows = []
+    interp_total = compiled_total = 0.0
+    for bench in BENCHMARKS:
+        init_s, init_run = best[(bench.name, False)]
+        comp_s, comp_run = best[(bench.name, True)]
+        interp_total += init_s
+        compiled_total += comp_s
+        rows.append({
+            "benchmark": bench.name,
+            "interp_s": init_s,
+            "compiled_s": comp_s,
+            "speedup": init_s / max(comp_s, 1e-12),
+            "interp_run": init_run,
+            "compiled_run": comp_run,
+        })
+    return {
+        "rows": rows,
+        "interp_total": interp_total,
+        "compiled_total": compiled_total,
+        "speedup": interp_total / max(compiled_total, 1e-12),
+    }
+
+
+def _sum_counters(runs):
+    total = {}
+    for run in runs:
+        for key, value in run.counters.items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
+def test_transfer_compile(benchmark, scale):
+    result = run_once(benchmark, lambda: _measure(scale))
+    comp_counters = _sum_counters(r["compiled_run"] for r in result["rows"])
+    interp_counters = _sum_counters(r["interp_run"] for r in result["rows"])
+    benchmark.extra_info["transfer_compile_speedup"] = round(result["speedup"], 3)
+    for key in ("plans_compiled", "plan_exec", "constraints_batched",
+                "closures_avoided"):
+        benchmark.extra_info[key] = comp_counters.get(key, 0)
+
+    table_rows = [[
+        r["benchmark"],
+        f"{r['interp_s']:.3f}",
+        f"{r['compiled_s']:.3f}",
+        f"{r['speedup']:.2f}x",
+        r["compiled_run"].counters.get("plans_compiled", 0),
+        r["compiled_run"].counters.get("plan_exec", 0),
+        r["compiled_run"].counters.get("constraints_batched", 0),
+        r["compiled_run"].counters.get("closures_avoided", 0),
+    ] for r in result["rows"]]
+    table_rows.append([
+        "TOTAL",
+        f"{result['interp_total']:.3f}",
+        f"{result['compiled_total']:.3f}",
+        f"{result['speedup']:.2f}x",
+        comp_counters.get("plans_compiled", 0),
+        comp_counters.get("plan_exec", 0),
+        comp_counters.get("constraints_batched", 0),
+        comp_counters.get("closures_avoided", 0),
+    ])
+    table = format_table(
+        ["benchmark", "interp s", "compiled s", "speedup",
+         "plans", "plan execs", "cons batched", "closures avoided"],
+        table_rows,
+        title=f"Compiled transfer plans ablation, scale={scale}")
+    print("\n" + table)
+    save_result("transfer_compile", table)
+
+    # Compilation must not change what the analysis proves.
+    for r in result["rows"]:
+        a, b = r["interp_run"], r["compiled_run"]
+        assert (a.checks_verified, a.checks_total) == \
+            (b.checks_verified, b.checks_total), r["benchmark"]
+
+    # The layer engaged -- and only in compiled mode.
+    assert comp_counters["plans_compiled"] > 0
+    assert comp_counters["plan_exec"] > 0
+    assert comp_counters["constraints_batched"] > 0
+    assert interp_counters.get("plans_compiled", 0) == 0
+    assert interp_counters.get("plan_exec", 0) == 0
+
+    # End-to-end win at meaningful scale (smoke runs are noise-bound:
+    # per-program times are milliseconds there, so no gate).  The
+    # measured win is ~5% total (up to ~1.17x per program) because the
+    # domain operations themselves dominate; single-benchmark jitter on
+    # a shared machine is of the same order, so the gate asserts the
+    # compiled path is not slower and leaves the exact ratio to the
+    # recorded table.
+    if scale != "small":
+        assert result["speedup"] >= 1.0

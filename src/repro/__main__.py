@@ -42,7 +42,8 @@ def cmd_analyze(args) -> int:
     with open(args.files[0]) as fh:
         source = fh.read()
     analyzer = Analyzer(domain=args.domain,
-                        widening_delay=args.widening_delay)
+                        widening_delay=args.widening_delay,
+                        compile_transfer=not args.no_compile)
     result = analyzer.analyze(source)
     failures = 0
     for proc in result.procedures:
@@ -80,7 +81,8 @@ def _analyze_many(args) -> int:
     from .service.job import jobs_from_files
 
     jobs = jobs_from_files(args.files, domain=args.domain,
-                           widening_delay=args.widening_delay)
+                           widening_delay=args.widening_delay,
+                           compile_transfer=not args.no_compile)
     batch = run_batch(jobs, workers=args.jobs)
     failures = 0
     for result in batch.results:
@@ -119,9 +121,11 @@ def cmd_batch(args) -> int:
             print("batch: give FILE arguments or --suite, not both",
                   file=sys.stderr)
             return 2
-        jobs = suite_jobs(args.scale, domain=args.domain)
+        jobs = suite_jobs(args.scale, domain=args.domain,
+                          compile_transfer=not args.no_compile)
     elif args.files:
-        jobs = jobs_from_files(args.files, domain=args.domain)
+        jobs = jobs_from_files(args.files, domain=args.domain,
+                               compile_transfer=not args.no_compile)
     else:
         print("batch: no input files (pass FILE... or --suite)",
               file=sys.stderr)
@@ -174,7 +178,8 @@ def cmd_precondition(args) -> int:
     with open(args.file) as fh:
         source = fh.read()
     cfg = build_cfg(parse_program(source).procedures[0])
-    pre = necessary_precondition(cfg, domain=args.domain)
+    pre = necessary_precondition(cfg, domain=args.domain,
+                                 compile_transfer=not args.no_compile)
     print("necessary precondition of reaching the exit:")
     if pre.is_bottom():
         print("  false (the exit is unreachable)")
@@ -199,6 +204,10 @@ def cmd_bench(args) -> int:
     print(f"  copies avoided:     {row['copies_avoided']}")
     print(f"  workspace hits:     {row['workspace_hits']}")
     print(f"  closure cache hits: {row['closure_cache_hits']}")
+    print(f"  plans compiled:     {row['plans_compiled']}")
+    print(f"  plan executions:    {row['plan_exec']}")
+    print(f"  constraints batched:{row['constraints_batched']:>6}")
+    print(f"  closures avoided:   {row['closures_avoided']}")
     return 0
 
 
@@ -242,6 +251,10 @@ def main(argv=None) -> int:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes when analyzing several files "
                         "(default: cpu count)")
+    p.add_argument("--no-compile", action="store_true",
+                   help="interpret edge actions instead of running "
+                        "compiled transfer plans (ablation; results are "
+                        "identical, only slower)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
@@ -266,12 +279,19 @@ def main(argv=None) -> int:
                         "~/.cache/repro)")
     p.add_argument("--json", default=None, metavar="OUT",
                    help="also write the batch report as JSON")
+    p.add_argument("--no-compile", action="store_true",
+                   help="interpret edge actions instead of running "
+                        "compiled transfer plans (ablation; jobs get "
+                        "distinct cache keys)")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("precondition",
                        help="necessary precondition of reaching the exit")
     p.add_argument("file")
     p.add_argument("--domain", default="octagon", choices=["octagon", "apron"])
+    p.add_argument("--no-compile", action="store_true",
+                   help="interpret edge actions instead of running "
+                        "compiled transfer plans (ablation)")
     p.set_defaults(func=cmd_precondition)
 
     p = sub.add_parser("bench", help="run one suite benchmark")

@@ -4,6 +4,9 @@ fixpoint engine with widening/narrowing, and the end-to-end analyzer."""
 from .analyzer import AnalysisResult, Analyzer, CheckResult, ProcedureResult
 from .backward import BackwardEngine, BackwardResult, necessary_precondition
 from .fixpoint import FixpointEngine, FixpointResult
+from .plan import (
+    CompiledCFG, compile_action, compile_backward_cfg, compile_cfg,
+)
 from .transfer import apply_action, apply_assume, eval_interval, linearize
 
 __all__ = [
@@ -13,11 +16,15 @@ __all__ = [
     "BackwardResult",
     "necessary_precondition",
     "CheckResult",
+    "CompiledCFG",
     "FixpointEngine",
     "FixpointResult",
     "ProcedureResult",
     "apply_action",
     "apply_assume",
+    "compile_action",
+    "compile_backward_cfg",
+    "compile_cfg",
     "eval_interval",
     "linearize",
 ]

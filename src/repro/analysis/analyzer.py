@@ -78,6 +78,7 @@ class Analyzer:
     narrowing_steps: int = 3
     widening_thresholds: Sequence[float] = field(default_factory=tuple)
     integer_mode: bool = True
+    compile_transfer: bool = True
 
     def _factory(self) -> DomainFactory:
         if isinstance(self.domain, str):
@@ -103,6 +104,7 @@ class Analyzer:
             narrowing_steps=self.narrowing_steps,
             widening_thresholds=self.widening_thresholds,
             integer_mode=self.integer_mode,
+            compile_transfer=self.compile_transfer,
         )
         start = time.perf_counter()
         results: List[ProcedureResult] = []

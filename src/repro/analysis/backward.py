@@ -34,6 +34,7 @@ from ..frontend.ast_nodes import (
     Assign, AssignInterval, Assume, BExpr, Havoc,
 )
 from ..frontend.cfg import CFG
+from .plan import compile_backward_cfg
 from .transfer import apply_assume, linearize
 
 
@@ -58,6 +59,7 @@ class BackwardEngine:
     widening_delay: int = 2
     max_iterations: int = 50_000
     integer_mode: bool = True
+    compile_transfer: bool = True
 
     def analyze(self, cfg: CFG, factory, target: int,
                 condition: Optional[BExpr] = None) -> BackwardResult:
@@ -73,6 +75,15 @@ class BackwardEngine:
             seed = apply_assume(seed, condition, var_index,
                                 integer_mode=self.integer_mode)
 
+        # Backward plans: each edge's reversed action compiled once.
+        plans = (compile_backward_cfg(cfg, integer_mode=self.integer_mode)
+                 if self.compile_transfer else None)
+        if plans is not None:
+            succ_pairs = plans.successors
+        else:
+            succ_pairs = {node: [(e.dst, e) for e in edges]
+                          for node, edges in cfg.successors.items()}
+
         order = cfg.reverse_postorder()
         priority = {node: -i for i, node in enumerate(order)}  # reverse
         visits: Dict[int, int] = {}
@@ -87,9 +98,14 @@ class BackwardEngine:
             node = worklist.pop(0)
             pending.discard(node)
             new = seed.copy() if node == target else bottom
-            for edge in cfg.successors.get(node, []):
-                new = new.join(self._transfer_back(
-                    states[edge.dst], edge, var_index))
+            if plans is not None:
+                for dst, plan in succ_pairs.get(node, ()):
+                    post = states[dst]
+                    new = new.join(post if plan is None else plan(post))
+            else:
+                for dst, edge in succ_pairs.get(node, ()):
+                    new = new.join(self._transfer_back(
+                        states[dst], edge, var_index))
             old = states[node]
             if new.is_leq(old):
                 continue
@@ -142,7 +158,8 @@ class BackwardEngine:
 
 def necessary_precondition(source_or_cfg, condition: Optional[BExpr] = None,
                            *, domain: str = "octagon",
-                           target: Optional[int] = None) -> object:
+                           target: Optional[int] = None,
+                           compile_transfer: bool = True) -> object:
     """Convenience wrapper: precondition of reaching the exit (or
     ``target``) of a single-procedure program."""
     from ..domains.domain import get_domain
@@ -153,7 +170,7 @@ def necessary_precondition(source_or_cfg, condition: Optional[BExpr] = None,
         cfg = build_cfg(parse_program(source_or_cfg).procedures[0])
     else:
         cfg = source_or_cfg
-    engine = BackwardEngine()
+    engine = BackwardEngine(compile_transfer=compile_transfer)
     result = engine.analyze(cfg, get_domain(domain),
                             cfg.exit if target is None else target,
                             condition)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..frontend.cfg import CFG, LoopInfo
+from .plan import CompiledCFG, compile_cfg
 from .transfer import apply_action
 
 
@@ -59,33 +60,40 @@ class FixpointEngine:
     widening_thresholds: Sequence[float] = field(default_factory=tuple)
     max_iterations: int = 100_000
     integer_mode: bool = True
+    compile_transfer: bool = True
 
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
     def analyze(self, cfg: CFG, factory, entry_state=None) -> FixpointResult:
         """Run to fixpoint; ``factory`` is a DomainFactory-like object."""
+        # Variable-level thresholds: include doubled values so the
+        # unary DBM entries (2v <= 2t) are captured too.  Built once per
+        # run -- every widening call shares the same set.
+        self._threshold_set = (
+            sorted({float(t) for t in self.widening_thresholds}
+                   | {2.0 * float(t) for t in self.widening_thresholds})
+            if self.widening_thresholds else None)
+        plans = (compile_cfg(cfg, integer_mode=self.integer_mode)
+                 if self.compile_transfer else None)
         if cfg.loop_tree is not None:
-            return self._analyze_structured(cfg, factory, entry_state)
-        return self._analyze_worklist(cfg, factory, entry_state)
+            return self._analyze_structured(cfg, factory, entry_state, plans)
+        return self._analyze_worklist(cfg, factory, entry_state, plans)
 
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
     def _widen(self, old, new):
-        if self.widening_thresholds:
-            # Variable-level thresholds: include doubled values so the
-            # unary DBM entries (2v <= 2t) are captured too.
-            ts = sorted({float(t) for t in self.widening_thresholds}
-                        | {2.0 * float(t) for t in self.widening_thresholds})
-            if hasattr(old, "widening_thresholds"):
-                return old.widening_thresholds(new, ts)
+        ts = getattr(self, "_threshold_set", None)
+        if ts and hasattr(old, "widening_thresholds"):
+            return old.widening_thresholds(new, ts)
         return old.widening(new)
 
     # ------------------------------------------------------------------
     # structured (recursive) strategy
     # ------------------------------------------------------------------
-    def _analyze_structured(self, cfg: CFG, factory, entry_state) -> FixpointResult:
+    def _analyze_structured(self, cfg: CFG, factory, entry_state,
+                            plans: CompiledCFG = None) -> FixpointResult:
         n = len(cfg.variables)
         var_index = cfg.var_index
         bottom = factory.bottom(n)
@@ -95,17 +103,31 @@ class FixpointEngine:
         rpo_pos = {node: i for i, node in enumerate(cfg.reverse_postorder())}
         counters = {"iterations": 0, "widenings": 0, "narrowings": 0}
 
-        def recompute(node):
+        def bump_iteration():
             counters["iterations"] += 1
             if counters["iterations"] > self.max_iterations:
                 raise RuntimeError("fixpoint did not converge within "
                                    f"{self.max_iterations} iterations")
-            acc = bottom
-            for edge in cfg.predecessors.get(node, []):
-                out = apply_action(states[edge.src], edge.action, var_index,
-                                   integer_mode=self.integer_mode)
-                acc = acc.join(out)
-            return acc
+
+        if plans is not None:
+            pred_plans = plans.predecessors
+
+            def recompute(node):
+                bump_iteration()
+                acc = bottom
+                for src, plan in pred_plans.get(node, ()):
+                    out = states[src] if plan is None else plan(states[src])
+                    acc = acc.join(out)
+                return acc
+        else:
+            def recompute(node):
+                bump_iteration()
+                acc = bottom
+                for edge in cfg.predecessors.get(node, []):
+                    out = apply_action(states[edge.src], edge.action, var_index,
+                                       integer_mode=self.integer_mode)
+                    acc = acc.join(out)
+                return acc
 
         def propagate_region(nodes_in_order, subloops_by_head):
             handled = set()
@@ -162,7 +184,8 @@ class FixpointEngine:
     # ------------------------------------------------------------------
     # generic worklist fallback (hand-built CFGs)
     # ------------------------------------------------------------------
-    def _analyze_worklist(self, cfg: CFG, factory, entry_state) -> FixpointResult:
+    def _analyze_worklist(self, cfg: CFG, factory, entry_state,
+                          plans: CompiledCFG = None) -> FixpointResult:
         n = len(cfg.variables)
         var_index = cfg.var_index
         bottom = factory.bottom(n)
@@ -173,6 +196,26 @@ class FixpointEngine:
         priority = {node: i for i, node in enumerate(cfg.reverse_postorder())}
         visits: Dict[int, int] = {}
         iterations = widenings = narrowings = 0
+
+        # Successor/predecessor transfers as (other_node, plan) pairs.
+        # Interpreted mode (the ablation baseline) builds the pairs once
+        # up front so its inner loops stay allocation-free too; the
+        # difference under measurement is purely plan-vs-interpreter.
+        if plans is not None:
+            succ_pairs = plans.successors
+            pred_pairs = plans.predecessors
+
+            def transfer(state, plan):
+                return state if plan is None else plan(state)
+        else:
+            succ_pairs = {node: [(e.dst, e.action) for e in edges]
+                          for node, edges in cfg.successors.items()}
+            pred_pairs = {node: [(e.src, e.action) for e in edges]
+                          for node, edges in cfg.predecessors.items()}
+
+            def transfer(state, action):
+                return apply_action(state, action, var_index,
+                                    integer_mode=self.integer_mode)
 
         worklist: List[tuple] = []
         seen = set()
@@ -193,10 +236,8 @@ class FixpointEngine:
             state = states[node]
             if state.is_bottom():
                 continue
-            for edge in cfg.successors.get(node, []):
-                out = apply_action(state, edge.action, var_index,
-                                   integer_mode=self.integer_mode)
-                dst = edge.dst
+            for dst, action in succ_pairs.get(node, ()):
+                out = transfer(state, action)
                 old = states[dst]
                 if out.is_leq(old):
                     continue
@@ -215,14 +256,12 @@ class FixpointEngine:
             for node in sorted(range(cfg.n_nodes), key=lambda x: priority.get(x, x)):
                 if node == cfg.entry:
                     continue
-                preds = cfg.predecessors.get(node, [])
+                preds = pred_pairs.get(node, ())
                 if not preds:
                     continue
                 new = factory.bottom(n)
-                for edge in preds:
-                    new = new.join(apply_action(states[edge.src], edge.action,
-                                                var_index,
-                                                integer_mode=self.integer_mode))
+                for src, action in preds:
+                    new = new.join(transfer(states[src], action))
                 refined = (states[node].narrowing(new)
                            if node in cfg.loop_heads else new)
                 if refined.is_leq(states[node]) and not states[node].is_leq(refined):

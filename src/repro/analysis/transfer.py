@@ -133,7 +133,15 @@ def apply_assume(state, cond: BExpr, var_index: Dict[str, int], *,
 
         if conjunctive:
             return go(go(state, cond.left), cond.right)
-        return go(state, cond.left).join(go(state, cond.right))
+        # Disjunction: a bottom side contributes nothing to the union,
+        # so skip the join (``join(bottom, x)`` would only copy ``x``).
+        left = go(state, cond.left)
+        if left.is_bottom():
+            return go(state, cond.right)
+        right = go(state, cond.right)
+        if right.is_bottom():
+            return left
+        return left.join(right)
     if isinstance(cond, Cmp):
         return _apply_cmp(state, cond, var_index, negate, integer_mode)
     raise TypeError(f"cannot assume {cond!r}")
@@ -166,7 +174,12 @@ def _apply_cmp(state, cmp_: Cmp, var_index: Dict[str, int], negate: bool,
     if op == "==":
         refined = _leq_zero(state, diff, False, integer_mode)
         return _leq_zero(refined, diff.scaled(-1.0), False, integer_mode)
-    # '!=': the union of the two strict sides.
+    # '!=': the union of the two strict sides (joined only when both
+    # sides are feasible -- a bottom side short-circuits the join).
     lt = _leq_zero(state, diff, True, integer_mode)
+    if lt.is_bottom():
+        return _leq_zero(state, diff.scaled(-1.0), True, integer_mode)
     gt = _leq_zero(state, diff.scaled(-1.0), True, integer_mode)
+    if gt.is_bottom():
+        return lt
     return lt.join(gt)

@@ -113,6 +113,10 @@ def fig8_row(benchmark: Benchmark, *, scale: Optional[str] = None) -> Dict[str, 
         "copies_avoided": opt.counters.get("copies_avoided", 0),
         "workspace_hits": opt.counters.get("workspace_hits", 0),
         "closure_cache_hits": opt.counters.get("closure_cache_hits", 0),
+        "plans_compiled": opt.counters.get("plans_compiled", 0),
+        "plan_exec": opt.counters.get("plan_exec", 0),
+        "constraints_batched": opt.counters.get("constraints_batched", 0),
+        "closures_avoided": opt.counters.get("closures_avoided", 0),
     }
 
 
@@ -156,6 +160,10 @@ def batch_suite_rows(*, scale: Optional[str] = None,
         "copies_avoided": r.counters.get("copies_avoided", 0),
         "workspace_hits": r.counters.get("workspace_hits", 0),
         "closure_cache_hits": r.counters.get("closure_cache_hits", 0),
+        "plans_compiled": r.counters.get("plans_compiled", 0),
+        "plan_exec": r.counters.get("plan_exec", 0),
+        "constraints_batched": r.counters.get("constraints_batched", 0),
+        "closures_avoided": r.counters.get("closures_avoided", 0),
     } for r in batch.results]
     return {"batch": batch, "rows": rows}
 
@@ -178,4 +186,8 @@ def table3_row(benchmark: Benchmark, *, scale: Optional[str] = None,
         "copies_avoided": opt.counters.get("copies_avoided", 0),
         "workspace_hits": opt.counters.get("workspace_hits", 0),
         "closure_cache_hits": opt.counters.get("closure_cache_hits", 0),
+        "plans_compiled": opt.counters.get("plans_compiled", 0),
+        "plan_exec": opt.counters.get("plan_exec", 0),
+        "constraints_batched": opt.counters.get("constraints_batched", 0),
+        "closures_avoided": opt.counters.get("closures_avoided", 0),
     }

@@ -131,7 +131,9 @@ def analysis_report(result) -> Dict:
 # batch-service job results
 # ----------------------------------------------------------------------
 #: Version of the JobResult wire schema (cache entries, ``--json``).
-JOB_RESULT_SCHEMA = 1
+#: v2 added ``compile_transfer`` (whether the analysis ran compiled
+#: transfer plans or the interpreted ablation path).
+JOB_RESULT_SCHEMA = 2
 
 
 def job_result_to_dict(result) -> Dict:
@@ -150,6 +152,7 @@ def job_result_to_dict(result) -> Dict:
         "seconds": result.seconds,
         "octagon_seconds": result.octagon_seconds,
         "attempts": result.attempts,
+        "compile_transfer": bool(result.compile_transfer),
         "error": result.error,
         "cached": result.cached,
         "checks": [[c.procedure, c.cond_text, bool(c.verified)]
@@ -187,6 +190,7 @@ def job_result_from_dict(raw: Dict):
         seconds=float(raw["seconds"]),
         octagon_seconds=float(raw["octagon_seconds"]),
         attempts=int(raw["attempts"]),
+        compile_transfer=bool(raw["compile_transfer"]),
         error=raw["error"],
         checks=checks,
         procedures=procedures,

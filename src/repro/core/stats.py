@@ -174,6 +174,11 @@ class StatsCollector:
             "result_cache_hits": merged.get("result_cache_hits", 0),
             "result_cache_misses": merged.get("result_cache_misses", 0),
             "result_cache_evictions": merged.get("result_cache_evictions", 0),
+            # Compiled transfer plans (repro.analysis.plan).
+            "plans_compiled": merged.get("plans_compiled", 0),
+            "plan_exec": merged.get("plan_exec", 0),
+            "constraints_batched": merged.get("constraints_batched", 0),
+            "closures_avoided": merged.get("closures_avoided", 0),
         }
 
 

@@ -39,13 +39,17 @@ class AnalysisJob:
     narrowing_steps: int = 3
     widening_thresholds: Tuple[float, ...] = ()
     integer_mode: bool = True
+    compile_transfer: bool = True
 
     def options(self) -> Dict[str, object]:
         """The analyzer options in normalised (JSON-stable) form.
 
         ``label`` is presentation only and deliberately excluded: the
         same program under the same options is the same job whatever a
-        caller chooses to call it.
+        caller chooses to call it.  ``compile_transfer`` *is* included
+        even though compiled and interpreted runs produce identical
+        results: the cache key stays an honest description of how the
+        result was computed.
         """
         return {
             "domain": self.domain,
@@ -53,6 +57,7 @@ class AnalysisJob:
             "narrowing_steps": int(self.narrowing_steps),
             "widening_thresholds": [float(t) for t in self.widening_thresholds],
             "integer_mode": bool(self.integer_mode),
+            "compile_transfer": bool(self.compile_transfer),
         }
 
     def key(self) -> str:
@@ -105,6 +110,7 @@ class JobResult:
     seconds: float = 0.0
     octagon_seconds: float = 0.0
     attempts: int = 1
+    compile_transfer: bool = True
     error: Optional[str] = None
     checks: List[CheckVerdict] = field(default_factory=list)
     procedures: List[ProcedureSummary] = field(default_factory=list)
@@ -157,6 +163,7 @@ def execute_job(job: AnalysisJob) -> JobResult:
         narrowing_steps=job.narrowing_steps,
         widening_thresholds=job.widening_thresholds,
         integer_mode=job.integer_mode,
+        compile_transfer=job.compile_transfer,
     )
     with stats.collecting() as collector:
         result = analyzer.analyze(job.source)
@@ -185,6 +192,7 @@ def execute_job(job: AnalysisJob) -> JobResult:
         outcome=OUTCOME_OK,
         seconds=result.seconds,
         octagon_seconds=collector.total_seconds + collector.closure_seconds,
+        compile_transfer=job.compile_transfer,
         checks=checks,
         procedures=procedures,
         counters=counters,

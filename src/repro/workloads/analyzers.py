@@ -59,6 +59,7 @@ def run_workload(
     aux_passes: int = 0,
     capture_closures: bool = False,
     widening_delay: int = 2,
+    compile_transfer: bool = True,
 ) -> WorkloadRun:
     """Analyze one benchmark's generated program with one domain.
 
@@ -69,7 +70,7 @@ def run_workload(
     """
     source = benchmark.source(scale)
     analyzer = Analyzer(domain=domain, widening_delay=widening_delay,
-                        narrowing_steps=3)
+                        narrowing_steps=3, compile_transfer=compile_transfer)
     start = time.perf_counter()
     with stats.collecting() as collector:
         collector.capture_closure_inputs = capture_closures

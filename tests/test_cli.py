@@ -113,10 +113,13 @@ class TestBatch:
         proc = run_cli("batch", str(a), str(b), "--jobs", "1", "--no-cache",
                        "--json", str(out), env=self._env(tmp_path))
         assert proc.returncode == 0, proc.stderr
+        from repro.core.serialize import JOB_RESULT_SCHEMA
+
         report = json.loads(out.read_text())
         assert len(report["jobs"]) == 2
-        assert all(j["schema"] == 1 and j["outcome"] == "ok"
+        assert all(j["schema"] == JOB_RESULT_SCHEMA and j["outcome"] == "ok"
                    for j in report["jobs"])
+        assert all(j["compile_transfer"] is True for j in report["jobs"])
         assert report["jobs"][0]["label"] == str(a)
 
     def test_batch_timeout_flag(self, tmp_path):

@@ -123,9 +123,11 @@ class TestJobResultRoundtrip:
         result = execute_job(AnalysisJob(
             source="assume(x >= 0); y = x + 1; assert(y >= 1);",
             label="rt"))
+        from repro.core.serialize import JOB_RESULT_SCHEMA
         raw = self._roundtrip(result)
-        assert raw["schema"] == 1
+        assert raw["schema"] == JOB_RESULT_SCHEMA
         assert raw["outcome"] == "ok"
+        assert raw["compile_transfer"] is True
         # Unbounded endpoints serialise as null, not infinities.
         (proc,) = raw["procedures"]
         assert [0.0, None] in proc["box"]
