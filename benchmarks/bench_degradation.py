@@ -1,0 +1,107 @@
+"""Resource governance: checkpoint overhead and the degradation ladder.
+
+Three passes over the 17-benchmark suite, all inline (``workers=1``,
+no fork noise):
+
+1. ungoverned -- no budget at all, the pre-governance baseline;
+2. governed -- generous budgets that never trip, measuring what the
+   cooperative checkpoints themselves cost (the gate: < 2% overhead,
+   because an un-tripped budget is a None-test in the engine loop and
+   an integer add in the closure kernels);
+3. tight -- an iteration budget small enough to interrupt most jobs,
+   proving the ladder's contract: every job still completes (``ok`` or
+   ``degraded``, never ``timeout``/``error``) and a degraded run never
+   *proves* a check the full-precision run could not.
+
+Each timing takes the best of three runs so the 2% gate measures the
+checkpoints, not scheduler jitter.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.service import run_suite
+
+#: Generous enough that no suite benchmark ever trips them.
+GENEROUS = dict(time_budget=3600.0, iteration_budget=10**9,
+                cell_budget=10**15)
+TIGHT_ITERATIONS = 40
+ROUNDS = 3
+
+
+def _best_of(scale, **options):
+    best = None
+    for _ in range(ROUNDS):
+        batch = run_suite(scale, workers=1, retries=0, **options)
+        if best is None or batch.wall_seconds < best.wall_seconds:
+            best = batch
+    return best
+
+
+def _verified(batch):
+    return {r.label: {(c.procedure, c.cond_text)
+                      for c in r.checks if c.verified}
+            for r in batch.results}
+
+
+def _measure(scale):
+    free = _best_of(scale)
+    governed = _best_of(scale, **GENEROUS)
+    tight = run_suite(scale, workers=1, retries=0,
+                      iteration_budget=TIGHT_ITERATIONS)
+    return {"free": free, "governed": governed, "tight": tight}
+
+
+def test_degradation(benchmark, scale):
+    result = run_once(benchmark, lambda: _measure(scale))
+    free, governed, tight = (result["free"], result["governed"],
+                             result["tight"])
+
+    overhead = (governed.wall_seconds / max(free.wall_seconds, 1e-12)
+                - 1.0) * 100.0
+    counts = tight.outcome_counts()
+    checkpoints = governed.counters().get("budget_checkpoints", 0)
+
+    rows = [
+        ["ungoverned", f"{free.wall_seconds:.3f}", "-", "-",
+         f"{free.checks_verified}/{free.checks_total}"],
+        ["governed (generous)", f"{governed.wall_seconds:.3f}",
+         f"{overhead:+.2f}%", "-",
+         f"{governed.checks_verified}/{governed.checks_total}"],
+        [f"tight (iters={TIGHT_ITERATIONS})",
+         f"{tight.wall_seconds:.3f}", "-",
+         f"{counts.get('degraded', 0)}/{len(tight.results)}",
+         f"{tight.checks_verified}/{tight.checks_total}"],
+    ]
+    table = format_table(
+        ["mode", "wall s", "checkpoint overhead", "degraded", "verified"],
+        rows,
+        title=(f"Resource governance, 17-benchmark suite, scale={scale}, "
+               f"{checkpoints} checkpoints"))
+    print("\n" + table)
+    save_result("degradation", table)
+    benchmark.extra_info.update({
+        "ungoverned_s": round(free.wall_seconds, 4),
+        "governed_s": round(governed.wall_seconds, 4),
+        "overhead_pct": round(overhead, 3),
+        "budget_checkpoints": checkpoints,
+        "tight_degraded": counts.get("degraded", 0),
+        "tight_verified": tight.checks_verified,
+    })
+
+    # An un-tripped budget must be invisible: identical verdicts...
+    for a, b in zip(free.results, governed.results):
+        assert a.verdicts() == b.verdicts()
+        assert a.procedures == b.procedures
+    # ...and (the gate) < 2% wall-clock overhead from the checkpoints.
+    assert governed.wall_seconds <= free.wall_seconds * 1.02 + 0.02, (
+        f"checkpoint overhead {overhead:.2f}% exceeds the 2% gate")
+
+    # The ladder's contract under a budget that actually trips.
+    assert tight.all_completed
+    assert counts.get("timeout", 0) == 0
+    assert counts.get("error", 0) == 0
+    assert counts.get("degraded", 0) > 0
+    free_v, tight_v = _verified(free), _verified(tight)
+    for label, proved in tight_v.items():
+        assert proved <= free_v[label], label

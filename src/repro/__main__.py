@@ -36,18 +36,38 @@ def _fmt(value: float) -> str:
     return f"{value:g}"
 
 
+def _apply_paranoid(args) -> None:
+    """Honour ``--paranoid`` (REPRO_PARANOID=1 works without the flag)."""
+    if getattr(args, "paranoid", False):
+        from .core.sentinel import set_paranoid
+
+        set_paranoid(True)
+
+
+def _budget_kwargs(args) -> dict:
+    return {"time_budget": args.time_budget,
+            "iteration_budget": args.iteration_budget,
+            "cell_budget": args.cell_budget}
+
+
 def cmd_analyze(args) -> int:
+    _apply_paranoid(args)
     if len(args.files) > 1:
         return _analyze_many(args)
     with open(args.files[0]) as fh:
         source = fh.read()
     analyzer = Analyzer(domain=args.domain,
                         widening_delay=args.widening_delay,
-                        compile_transfer=not args.no_compile)
+                        compile_transfer=not args.no_compile,
+                        **_budget_kwargs(args))
     result = analyzer.analyze(source)
     failures = 0
     for proc in result.procedures:
-        print(f"proc {proc.name}:")
+        note = ""
+        if proc.degraded:
+            used = "top" if proc.exhausted else proc.domain_used
+            note = f" (degraded to {used})"
+        print(f"proc {proc.name}:{note}")
         names = proc.cfg.variables
         exit_state = proc.invariant_at_exit()
         if exit_state.is_bottom():
@@ -82,15 +102,20 @@ def _analyze_many(args) -> int:
 
     jobs = jobs_from_files(args.files, domain=args.domain,
                            widening_delay=args.widening_delay,
-                           compile_transfer=not args.no_compile)
+                           compile_transfer=not args.no_compile,
+                           **_budget_kwargs(args))
     batch = run_batch(jobs, workers=args.jobs)
     failures = 0
     for result in batch.results:
         print(f"== {result.label} ==")
-        if not result.ok:
+        if not result.completed:
             failures += 1
             print(f"  {result.outcome}: {result.error}")
             continue
+        if result.outcome == "degraded":
+            rungs = ", ".join(f"{proc}->{dom}"
+                              for proc, dom in sorted(result.rungs.items()))
+            print(f"  degraded under budget ({rungs})")
         for proc in result.procedures:
             print(f"proc {proc.name}:")
             if not proc.reachable:
@@ -113,42 +138,60 @@ def _analyze_many(args) -> int:
 
 def cmd_batch(args) -> int:
     """Batch front door: files (or the suite) through the service."""
-    from .service import ResultCache, run_batch, suite_jobs
+    from .service import BatchJournal, ResultCache, run_batch, suite_jobs
     from .service.job import jobs_from_files
 
+    _apply_paranoid(args)
     if args.suite:
         if args.files:
             print("batch: give FILE arguments or --suite, not both",
                   file=sys.stderr)
             return 2
         jobs = suite_jobs(args.scale, domain=args.domain,
-                          compile_transfer=not args.no_compile)
+                          compile_transfer=not args.no_compile,
+                          **_budget_kwargs(args))
     elif args.files:
         jobs = jobs_from_files(args.files, domain=args.domain,
-                               compile_transfer=not args.no_compile)
+                               compile_transfer=not args.no_compile,
+                               **_budget_kwargs(args))
     else:
         print("batch: no input files (pass FILE... or --suite)",
               file=sys.stderr)
         return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # Journalling is on by default so an unplanned kill is always
+    # resumable; --journal overrides the content-addressed default path.
+    journal = None
+    if not args.no_journal:
+        journal = (BatchJournal(args.journal) if args.journal
+                   else BatchJournal.for_jobs(jobs, root=args.cache_dir))
     batch = run_batch(jobs, workers=args.jobs, timeout=args.timeout,
-                      cache=cache)
+                      cache=cache, journal=journal, resume=args.resume)
 
     width = max((len(r.label) for r in batch.results), default=0)
     for result in batch.results:
         note = " (cached)" if result.cached else ""
-        if result.ok:
+        if result.resumed:
+            note = " (resumed)"
+        if result.completed:
             detail = (f"{result.checks_verified}/{result.checks_total} "
                       f"verified  {result.seconds:7.3f}s")
+            if result.rungs:
+                rungs = ", ".join(f"{proc}->{dom}" for proc, dom
+                                  in sorted(result.rungs.items()))
+                detail += f"  [{rungs}]"
         else:
             detail = result.error or result.outcome
-        print(f"{result.label:{width}s}  {result.outcome:7s}  {detail}{note}")
+        print(f"{result.label:{width}s}  {result.outcome:8s}  {detail}{note}")
     counts = batch.outcome_counts()
     summary = ", ".join(f"{counts.get(k, 0)} {k}"
-                        for k in ("ok", "timeout", "error"))
+                        for k in ("ok", "degraded", "timeout", "error"))
     print(f"batch: {len(batch.results)} jobs in {batch.wall_seconds:.3f}s "
           f"with {batch.workers} worker(s) ({summary})")
+    if batch.resumed:
+        print(f"journal: {batch.resumed} job(s) resumed from "
+              f"{journal.path}")
     if cache is not None:
         print(f"cache: {batch.cache_hits} hits, {batch.cache_misses} misses, "
               f"{cache.evictions} evictions ({cache.dir})")
@@ -162,12 +205,15 @@ def cmd_batch(args) -> int:
             "workers": batch.workers,
             "cache_hits": batch.cache_hits,
             "cache_misses": batch.cache_misses,
+            "resumed": batch.resumed,
             "jobs": [job_result_to_dict(r) for r in batch.results],
         }
         with open(args.json, "w") as fh:
             _json.dump(document, fh, indent=2)
         print(f"wrote {args.json}")
-    return 0 if batch.all_ok else 1
+    # A degraded job still produced a sound answer: only jobs with *no*
+    # answer (timeout/error) fail the batch.
+    return 0 if batch.all_completed else 1
 
 
 def cmd_precondition(args) -> int:
@@ -243,7 +289,24 @@ def main(argv=None) -> int:
                     "Fast' (PLDI 2015)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_robustness_flags(p) -> None:
+        p.add_argument("--paranoid", action="store_true",
+                       help="validate DBM integrity after every octagon "
+                            "operation (slow; also REPRO_PARANOID=1)")
+        p.add_argument("--time-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per procedure attempt; on "
+                            "exhaustion the analysis degrades to a cheaper "
+                            "domain instead of failing")
+        p.add_argument("--iteration-budget", type=int, default=None,
+                       metavar="N", help="fixpoint-iteration budget per "
+                                         "procedure attempt")
+        p.add_argument("--cell-budget", type=int, default=None, metavar="N",
+                       help="DBM-cell (closure traffic) budget per "
+                            "procedure attempt")
+
     p = sub.add_parser("analyze", help="analyze one or more source files")
+    add_robustness_flags(p)
     p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--domain", default="octagon",
                    choices=["octagon", "apron", "interval", "zone", "pentagon"])
@@ -283,6 +346,17 @@ def main(argv=None) -> int:
                    help="interpret edge actions instead of running "
                         "compiled transfer plans (ablation; jobs get "
                         "distinct cache keys)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="journal file recording finished jobs (default: "
+                        "content-addressed path under the cache root)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="do not journal finished jobs (batch will not be "
+                        "resumable)")
+    p.add_argument("--resume", action="store_true",
+                   help="serve jobs already recorded in the journal by an "
+                        "earlier (killed) run of this batch; only "
+                        "unfinished jobs re-run")
+    add_robustness_flags(p)
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("precondition",

@@ -16,12 +16,29 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core import stats
+from ..core.budget import Budget
 from ..domains.domain import DomainFactory, get_domain
+from ..errors import AnalysisInterrupted
 from ..frontend.ast_nodes import Assert, Procedure, Program
 from ..frontend.cfg import CFG, build_cfg
 from ..frontend.parser import parse_program
 from .fixpoint import FixpointEngine, FixpointResult
 from .transfer import apply_assume
+
+#: The precision degradation ladder: when a procedure exhausts its
+#: budget at one rung, the analyzer retries it one rung down with a
+#: fresh budget.  Every rung is strictly cheaper (zones drop the
+#: sum constraints, intervals drop all relational information), so a
+#: descent terminates; every rung is an over-approximation of the one
+#: above it, so the degraded invariants are sound -- some checks just
+#: become unknown instead of verified.
+LADDER = {
+    "octagon": ("octagon", "zone", "interval"),
+    "apron": ("apron", "zone", "interval"),
+    "zone": ("zone", "interval"),
+    "pentagon": ("pentagon", "interval"),
+    "interval": ("interval",),
+}
 
 
 @dataclass
@@ -40,6 +57,15 @@ class ProcedureResult:
     cfg: CFG
     fixpoint: FixpointResult
     checks: List[CheckResult]
+    #: Domain that actually produced the invariants (may be a lower
+    #: ladder rung than the analyzer's configured domain).
+    domain_used: str = ""
+    #: True when the procedure was re-run at a lower rung, or fell all
+    #: the way through to synthesized top states.
+    degraded: bool = False
+    #: True when even the last rung exhausted its budget and the
+    #: invariants are the trivial (sound) top states.
+    exhausted: bool = False
 
     def invariant_at_exit(self):
         return self.fixpoint.at(self.cfg.exit)
@@ -62,6 +88,10 @@ class AnalysisResult:
     def all_verified(self) -> bool:
         return all(c.verified for c in self.checks)
 
+    @property
+    def degraded(self) -> bool:
+        return any(proc.degraded for proc in self.procedures)
+
     def procedure(self, name: str) -> ProcedureResult:
         for proc in self.procedures:
             if proc.name == name:
@@ -79,11 +109,38 @@ class Analyzer:
     widening_thresholds: Sequence[float] = field(default_factory=tuple)
     integer_mode: bool = True
     compile_transfer: bool = True
+    #: Resource budget per procedure *attempt* (each ladder rung gets a
+    #: fresh budget): wall-clock seconds, fixpoint iterations, DBM
+    #: cells of closure traffic.  ``None`` means unbounded.
+    time_budget: Optional[float] = None
+    iteration_budget: Optional[int] = None
+    cell_budget: Optional[int] = None
+    #: Descend the precision ladder on budget exhaustion instead of
+    #: propagating :class:`~repro.errors.AnalysisInterrupted`.
+    degrade: bool = True
 
     def _factory(self) -> DomainFactory:
         if isinstance(self.domain, str):
             return get_domain(self.domain)
         return self.domain
+
+    def _budgeted(self) -> bool:
+        return (self.time_budget is not None
+                or self.iteration_budget is not None
+                or self.cell_budget is not None)
+
+    def _fresh_budget(self) -> Optional[Budget]:
+        if not self._budgeted():
+            return None
+        return Budget(time_limit=self.time_budget,
+                      max_iterations=self.iteration_budget,
+                      max_cells=self.cell_budget)
+
+    def _rungs(self) -> List[Union[str, DomainFactory]]:
+        """The domains to try for each procedure, most precise first."""
+        if isinstance(self.domain, str) and self.degrade:
+            return list(LADDER.get(self.domain, (self.domain,)))
+        return [self.domain]
 
     def analyze(self, source_or_program: Union[str, Program, Procedure],
                 *, collect: bool = False) -> AnalysisResult:
@@ -98,7 +155,6 @@ class Analyzer:
             program = Program([source_or_program])
         else:
             program = source_or_program
-        factory = self._factory()
         engine = FixpointEngine(
             widening_delay=self.widening_delay,
             narrowing_steps=self.narrowing_steps,
@@ -110,13 +166,49 @@ class Analyzer:
         results: List[ProcedureResult] = []
         collector: Optional[stats.StatsCollector] = None
 
+        def rung_name(rung) -> str:
+            return rung if isinstance(rung, str) else getattr(
+                rung, "name", type(rung).__name__)
+
+        def solve(cfg: CFG) -> Tuple[FixpointResult, str, bool, bool]:
+            """One procedure down the ladder: (fixpoint, domain_used,
+            degraded, exhausted)."""
+            rungs = self._rungs()
+            last_exc: Optional[AnalysisInterrupted] = None
+            for i, rung in enumerate(rungs):
+                factory = get_domain(rung) if isinstance(rung, str) else rung
+                try:
+                    fix = engine.analyze(cfg, factory,
+                                         budget=self._fresh_budget())
+                except AnalysisInterrupted as exc:
+                    stats.bump("budget_interrupts")
+                    if not self.degrade:
+                        raise
+                    stats.bump("degradations")
+                    last_exc = exc
+                    continue
+                return fix, rung_name(rung), i > 0, False
+            # Every rung exhausted its budget: fall back to the trivial
+            # sound answer -- top at every node.  The checks become
+            # unknown, never wrong.
+            factory = (get_domain(rungs[-1]) if isinstance(rungs[-1], str)
+                       else rungs[-1])
+            n = len(cfg.variables)
+            top = factory.top(n)
+            states = {node: top.copy() for node in range(cfg.n_nodes)}
+            fix = FixpointResult(
+                states, last_exc.iterations if last_exc else 0, 0, 0)
+            return fix, rung_name(rungs[-1]), True, True
+
         def run() -> None:
             for proc in program.procedures:
                 cfg = build_cfg(proc)
-                fix = engine.analyze(cfg, factory)
+                fix, used, degraded, exhausted = solve(cfg)
                 checks = [self._discharge(proc.name, cfg, fix, node, chk)
                           for node, chk in cfg.checks]
-                results.append(ProcedureResult(proc.name, cfg, fix, checks))
+                results.append(ProcedureResult(
+                    proc.name, cfg, fix, checks, domain_used=used,
+                    degraded=degraded, exhausted=exhausted))
 
         if collect:
             with stats.collecting() as collector:

@@ -29,7 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..core.budget import Budget, governed
 from ..core.constraints import LinExpr
+from ..errors import AnalysisInterrupted, BudgetExceeded
 from ..frontend.ast_nodes import (
     Assign, AssignInterval, Assume, BExpr, Havoc,
 )
@@ -62,7 +64,8 @@ class BackwardEngine:
     compile_transfer: bool = True
 
     def analyze(self, cfg: CFG, factory, target: int,
-                condition: Optional[BExpr] = None) -> BackwardResult:
+                condition: Optional[BExpr] = None,
+                budget: Optional[Budget] = None) -> BackwardResult:
         """Necessary precondition of reaching ``target`` (optionally
         with ``condition`` holding there)."""
         n = len(cfg.variables)
@@ -90,37 +93,51 @@ class BackwardEngine:
         worklist = [target]
         pending = {target}
         iterations = 0
-        while worklist:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise RuntimeError("backward analysis did not converge")
-            worklist.sort(key=lambda nd: priority.get(nd, 0))
-            node = worklist.pop(0)
-            pending.discard(node)
-            new = seed.copy() if node == target else bottom
-            if plans is not None:
-                for dst, plan in succ_pairs.get(node, ()):
-                    post = states[dst]
-                    new = new.join(post if plan is None else plan(post))
-            else:
-                for dst, edge in succ_pairs.get(node, ()):
-                    new = new.join(self._transfer_back(
-                        states[dst], edge, var_index))
-            old = states[node]
-            if new.is_leq(old):
-                continue
-            merged = old.join(new)
-            if node in cfg.loop_heads:
-                visits[node] = visits.get(node, 0) + 1
-                if visits[node] > self.widening_delay:
-                    merged = old.widening(merged)
-            states[node] = merged
-            for edge in cfg.predecessors.get(node, []):
-                if edge.src not in pending:
-                    pending.add(edge.src)
-                    worklist.append(edge.src)
-            # The node's own successors do not change, but re-push the
-            # node itself if it is its own predecessor via a self loop.
+        try:
+            with governed(budget):
+                while worklist:
+                    iterations += 1
+                    if budget is not None:
+                        budget.checkpoint()
+                    if iterations > self.max_iterations:
+                        raise AnalysisInterrupted(
+                            "iterations",
+                            "backward analysis did not converge within "
+                            f"{self.max_iterations} iterations",
+                            partial_states=dict(states),
+                            iterations=iterations)
+                    worklist.sort(key=lambda nd: priority.get(nd, 0))
+                    node = worklist.pop(0)
+                    pending.discard(node)
+                    new = seed.copy() if node == target else bottom
+                    if plans is not None:
+                        for dst, plan in succ_pairs.get(node, ()):
+                            post = states[dst]
+                            new = new.join(post if plan is None else plan(post))
+                    else:
+                        for dst, edge in succ_pairs.get(node, ()):
+                            new = new.join(self._transfer_back(
+                                states[dst], edge, var_index))
+                    old = states[node]
+                    if new.is_leq(old):
+                        continue
+                    merged = old.join(new)
+                    if node in cfg.loop_heads:
+                        visits[node] = visits.get(node, 0) + 1
+                        if visits[node] > self.widening_delay:
+                            merged = old.widening(merged)
+                    states[node] = merged
+                    for edge in cfg.predecessors.get(node, []):
+                        if edge.src not in pending:
+                            pending.add(edge.src)
+                            worklist.append(edge.src)
+                    # The node's own successors do not change, but re-push
+                    # the node itself if it is its own predecessor via a
+                    # self loop.
+        except BudgetExceeded as exc:
+            raise AnalysisInterrupted(
+                exc.reason, str(exc), partial_states=dict(states),
+                iterations=iterations) from exc
         return BackwardResult(states, iterations)
 
     def _transfer_back(self, post, edge, var_index):

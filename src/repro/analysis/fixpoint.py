@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..core.budget import Budget, governed
+from ..errors import AnalysisInterrupted, BudgetExceeded
 from ..frontend.cfg import CFG, LoopInfo
 from .plan import CompiledCFG, compile_cfg
 from .transfer import apply_action
@@ -65,8 +67,16 @@ class FixpointEngine:
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
-    def analyze(self, cfg: CFG, factory, entry_state=None) -> FixpointResult:
-        """Run to fixpoint; ``factory`` is a DomainFactory-like object."""
+    def analyze(self, cfg: CFG, factory, entry_state=None,
+                budget: Optional[Budget] = None) -> FixpointResult:
+        """Run to fixpoint; ``factory`` is a DomainFactory-like object.
+
+        With a ``budget``, the solve checkpoints once per node
+        recomputation and the closure kernels charge their traffic to
+        it ambiently; exhaustion surfaces as
+        :class:`~repro.errors.AnalysisInterrupted` carrying the
+        partial (not yet converged, possibly unsound) state map.
+        """
         # Variable-level thresholds: include doubled values so the
         # unary DBM entries (2v <= 2t) are captured too.  Built once per
         # run -- every widening call shares the same set.
@@ -76,9 +86,12 @@ class FixpointEngine:
             if self.widening_thresholds else None)
         plans = (compile_cfg(cfg, integer_mode=self.integer_mode)
                  if self.compile_transfer else None)
-        if cfg.loop_tree is not None:
-            return self._analyze_structured(cfg, factory, entry_state, plans)
-        return self._analyze_worklist(cfg, factory, entry_state, plans)
+        with governed(budget):
+            if cfg.loop_tree is not None:
+                return self._analyze_structured(cfg, factory, entry_state,
+                                                plans, budget)
+            return self._analyze_worklist(cfg, factory, entry_state,
+                                          plans, budget)
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -93,7 +106,8 @@ class FixpointEngine:
     # structured (recursive) strategy
     # ------------------------------------------------------------------
     def _analyze_structured(self, cfg: CFG, factory, entry_state,
-                            plans: CompiledCFG = None) -> FixpointResult:
+                            plans: CompiledCFG = None,
+                            budget: Optional[Budget] = None) -> FixpointResult:
         n = len(cfg.variables)
         var_index = cfg.var_index
         bottom = factory.bottom(n)
@@ -105,9 +119,15 @@ class FixpointEngine:
 
         def bump_iteration():
             counters["iterations"] += 1
+            if budget is not None:
+                budget.checkpoint()
             if counters["iterations"] > self.max_iterations:
-                raise RuntimeError("fixpoint did not converge within "
-                                   f"{self.max_iterations} iterations")
+                raise AnalysisInterrupted(
+                    "iterations",
+                    "fixpoint did not converge within "
+                    f"{self.max_iterations} iterations",
+                    partial_states=dict(states),
+                    iterations=counters["iterations"])
 
         if plans is not None:
             pred_plans = plans.predecessors
@@ -177,7 +197,13 @@ class FixpointEngine:
         top_order = sorted((node for node in range(cfg.n_nodes)
                             if node != cfg.entry),
                            key=lambda nd: rpo_pos.get(nd, nd))
-        propagate_region(top_order, {loop.head: loop for loop in cfg.loop_tree})
+        try:
+            propagate_region(top_order,
+                             {loop.head: loop for loop in cfg.loop_tree})
+        except BudgetExceeded as exc:
+            raise AnalysisInterrupted(
+                exc.reason, str(exc), partial_states=dict(states),
+                iterations=counters["iterations"]) from exc
         return FixpointResult(states, counters["iterations"],
                               counters["widenings"], counters["narrowings"])
 
@@ -185,7 +211,8 @@ class FixpointEngine:
     # generic worklist fallback (hand-built CFGs)
     # ------------------------------------------------------------------
     def _analyze_worklist(self, cfg: CFG, factory, entry_state,
-                          plans: CompiledCFG = None) -> FixpointResult:
+                          plans: CompiledCFG = None,
+                          budget: Optional[Budget] = None) -> FixpointResult:
         n = len(cfg.variables)
         var_index = cfg.var_index
         bottom = factory.bottom(n)
@@ -226,29 +253,39 @@ class FixpointEngine:
                 heapq.heappush(worklist, (priority.get(node, node), node))
 
         push(cfg.entry)
-        while worklist:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise RuntimeError("fixpoint did not converge "
-                                   f"within {self.max_iterations} iterations")
-            _, node = heapq.heappop(worklist)
-            seen.discard(node)
-            state = states[node]
-            if state.is_bottom():
-                continue
-            for dst, action in succ_pairs.get(node, ()):
-                out = transfer(state, action)
-                old = states[dst]
-                if out.is_leq(old):
+        try:
+            while worklist:
+                iterations += 1
+                if budget is not None:
+                    budget.checkpoint()
+                if iterations > self.max_iterations:
+                    raise AnalysisInterrupted(
+                        "iterations",
+                        "fixpoint did not converge "
+                        f"within {self.max_iterations} iterations",
+                        partial_states=dict(states), iterations=iterations)
+                _, node = heapq.heappop(worklist)
+                seen.discard(node)
+                state = states[node]
+                if state.is_bottom():
                     continue
-                merged = old.join(out)
-                if dst in cfg.loop_heads:
-                    visits[dst] = visits.get(dst, 0) + 1
-                    if visits[dst] > self.widening_delay:
-                        widenings += 1
-                        merged = self._widen(old, merged)
-                states[dst] = merged
-                push(dst)
+                for dst, action in succ_pairs.get(node, ()):
+                    out = transfer(state, action)
+                    old = states[dst]
+                    if out.is_leq(old):
+                        continue
+                    merged = old.join(out)
+                    if dst in cfg.loop_heads:
+                        visits[dst] = visits.get(dst, 0) + 1
+                        if visits[dst] > self.widening_delay:
+                            widenings += 1
+                            merged = self._widen(old, merged)
+                    states[dst] = merged
+                    push(dst)
+        except BudgetExceeded as exc:
+            raise AnalysisInterrupted(
+                exc.reason, str(exc), partial_states=dict(states),
+                iterations=iterations) from exc
 
         # Descending (narrowing) passes.
         for _ in range(self.narrowing_steps):

@@ -8,18 +8,25 @@ Public surface:
 * :class:`ApronOctagon` -- the APRON-faithful scalar baseline.
 * :class:`OctConstraint` / :class:`LinExpr` -- the constraint language.
 * :class:`SwitchPolicy` / :class:`DbmKind` -- the type-switching knobs.
+* :class:`Budget` -- cooperative resource budgets (wall clock,
+  iterations, DBM cells) for governed analysis runs.
+* :mod:`repro.core.sentinel` -- the opt-in paranoid DBM integrity
+  sentinel (``REPRO_PARANOID=1``).
 * :mod:`repro.core.stats` -- instrumentation used by the benchmarks.
 """
 
 from .apron_octagon import ApronOctagon
 from .bounds import INF, NEG_INF
+from .budget import Budget
 from .constraints import LinExpr, OctConstraint
 from .kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
 from .octagon import Octagon
 from .partition import Partition
+from .sentinel import paranoid_enabled, set_paranoid
 
 __all__ = [
     "ApronOctagon",
+    "Budget",
     "DbmKind",
     "DEFAULT_POLICY",
     "INF",
@@ -29,4 +36,6 @@ __all__ = [
     "Octagon",
     "Partition",
     "SwitchPolicy",
+    "paranoid_enabled",
+    "set_paranoid",
 ]

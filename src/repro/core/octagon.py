@@ -46,6 +46,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import budget as _budget
+from . import sentinel as _sentinel
 from . import stats
 from .bounds import INF, is_finite
 from .cow import CowMat, is_enabled as _cow_enabled
@@ -59,6 +61,7 @@ from .indexing import expand_vars, half_size
 from .kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
 from .partition import Partition
 from .workspace import get_workspace
+from ..testing import faults as _faults
 
 
 class Octagon:
@@ -274,6 +277,14 @@ class Octagon:
             stats.record_closure_input(
                 self.mat.copy(), [list(b) for b in self.partition.blocks])
         components = len(self.partition.blocks)
+        # Budget checkpoint: charge the matrix area this kernel is about
+        # to traverse (per-component for decomposed closures, so a
+        # densifying octagon burns its cell budget much faster).
+        if kind == DbmKind.DECOMPOSED:
+            _budget.charge_cells(sum((2 * len(b)) ** 2
+                                     for b in self.partition.blocks))
+        else:
+            _budget.charge_cells((2 * self.n) ** 2)
         m = self._write_mat()
         start = time.perf_counter()
         if kind == DbmKind.DECOMPOSED:
@@ -296,9 +307,13 @@ class Octagon:
             self._become_bottom()
         else:
             self.closed = True
+        if _faults.fire("dbm_corrupt"):
+            _faults.corrupt_octagon(self)
+        _sentinel.check(self)
 
     def _incremental_close(self, v: int) -> None:
         """Quadratic re-closure after changes confined to variable ``v``."""
+        _budget.charge_cells(8 * self.n)  # two row/column pairs touched
         m = self._write_mat()
         start = time.perf_counter()
         empty = incremental_closure(m, v)
@@ -321,6 +336,7 @@ class Octagon:
                 self.partition = self.partition.merge_blocks_containing(
                     unary_vars.tolist())
         self.closed = True
+        _sentinel.check(self)
 
     # ------------------------------------------------------------------
     # predicates
@@ -397,7 +413,9 @@ class Octagon:
             else:
                 out = np.minimum(self.mat, other.mat)
             nni = count_nni(out)
-            return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+            result = Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+        _sentinel.check(result)
+        return result
 
     def join(self, other: "Octagon") -> "Octagon":
         """Least upper bound; computed on the closures for precision and
@@ -428,7 +446,9 @@ class Octagon:
                 out = np.maximum(a.mat, b.mat)
             nni = count_nni(out)
             # The pointwise max of two closed DBMs is closed.
-            return Octagon(self.n, out, part, nni, closed=True, policy=self.policy)
+            result = Octagon(self.n, out, part, nni, closed=True, policy=self.policy)
+        _sentinel.check(result)
+        return result
 
     def widening(self, other: "Octagon") -> "Octagon":
         """Standard octagon widening, component-set intersection.
@@ -460,7 +480,9 @@ class Octagon:
                 out = np.where(keep, self.mat, INF)
             np.fill_diagonal(out, 0.0)
             nni = count_nni(out)
-            return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+            result = Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+        _sentinel.check(result)
+        return result
 
     def widening_thresholds(self, other: "Octagon", thresholds: Sequence[float]) -> "Octagon":
         """Widening with thresholds: unstable bounds jump to the next
@@ -490,9 +512,18 @@ class Octagon:
                     out[gather] = widened[gather]
             else:
                 out = widened
+                # A bound bumped to a threshold stays finite even where
+                # the operands' partitions do not intersect, so the
+                # intersection can under-cover the result's constraint
+                # graph; recompute the exact partition from the matrix.
+                if self.policy.decompose:
+                    np.fill_diagonal(out, 0.0)
+                    part = Partition.from_matrix(out)
             np.fill_diagonal(out, 0.0)
             nni = count_nni(out)
-            return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+            result = Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+        _sentinel.check(result)
+        return result
 
     def narrowing(self, other: "Octagon") -> "Octagon":
         """Standard narrowing: refine only the trivial (infinite) bounds."""
@@ -503,7 +534,9 @@ class Octagon:
             part = self.partition.union(other.partition)
             out = np.where(np.isinf(self.mat), other.mat, self.mat)
             nni = count_nni(out)
-            return Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+            result = Octagon(self.n, out, part, nni, closed=False, policy=self.policy)
+        _sentinel.check(result)
+        return result
 
     def _use_blockwise(self, part: Partition) -> bool:
         """Work per component submatrix instead of the whole matrix?
@@ -535,7 +568,9 @@ class Octagon:
                 if not wrote:
                     m = self._write_mat()
                     wrote = True
-                if not is_finite(m[r, s]):
+                # nni counts the half representation (j <= i|1), where a
+                # coherent mirror pair contributes one entry, not two.
+                if not is_finite(m[r, s]) and s <= (r | 1):
                     self.nni += 1
                 m[r, s] = c
         vars_ = list(cons.variables())
@@ -555,6 +590,8 @@ class Octagon:
             out._meet_constraint_cells(cons)
             if was_closed:
                 out._incremental_close(cons.i)
+            else:
+                _sentinel.check(out)
         return out
 
     def meet_constraints(self, constraints: Iterable[OctConstraint]) -> "Octagon":
@@ -579,6 +616,7 @@ class Octagon:
                     out._incremental_close(min(common))
                 else:
                     out.closed = False
+                    _sentinel.check(out)
         return out
 
     def assume_linear(self, expr: LinExpr, *, strict: bool = False) -> "Octagon":
@@ -659,6 +697,7 @@ class Octagon:
             out.partition = out.partition.remove_var(v)
             out.nni = count_nni(m)
             out.closed = True  # removing edges from a closed DBM keeps it closed
+        _sentinel.check(out)
         return out
 
     def assign_const(self, v: int, c: float) -> "Octagon":
@@ -705,6 +744,7 @@ class Octagon:
             m[:, p1] -= c
             m[p0, p0] = 0.0
             m[p1, p1] = 0.0
+        _sentinel.check(out)
         return out
 
     def assign_negate(self, v: int, c: float = 0.0) -> "Octagon":
@@ -719,6 +759,7 @@ class Octagon:
             m[:, [p0, p1]] = m[:, [p1, p0]]
         if c != 0.0:
             return out.assign_translate(v, c)
+        _sentinel.check(out)
         return out
 
     def assign_var(self, v: int, w: int, *, coeff: int = 1, offset: float = 0.0) -> "Octagon":
@@ -898,6 +939,7 @@ class Octagon:
             reset_diagonal_numpy(m)
             out._refresh_structure_exact()
             out.closed = False
+        _sentinel.check(out)
         return out
 
     # ------------------------------------------------------------------

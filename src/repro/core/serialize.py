@@ -132,8 +132,10 @@ def analysis_report(result) -> Dict:
 # ----------------------------------------------------------------------
 #: Version of the JobResult wire schema (cache entries, ``--json``).
 #: v2 added ``compile_transfer`` (whether the analysis ran compiled
-#: transfer plans or the interpreted ablation path).
-JOB_RESULT_SCHEMA = 2
+#: transfer plans or the interpreted ablation path).  v3 added the
+#: ``degraded`` outcome with its per-procedure ``rungs`` map and the
+#: ``resumed`` journal flag.
+JOB_RESULT_SCHEMA = 3
 
 
 def job_result_to_dict(result) -> Dict:
@@ -164,6 +166,8 @@ def job_result_to_dict(result) -> Dict:
             "box": [[lo, hi] for lo, hi in p.box],
         } for p in result.procedures],
         "counters": {str(k): int(v) for k, v in result.counters.items()},
+        "rungs": {str(k): str(v) for k, v in result.rungs.items()},
+        "resumed": result.resumed,
     }
 
 
@@ -195,7 +199,9 @@ def job_result_from_dict(raw: Dict):
         checks=checks,
         procedures=procedures,
         counters={str(k): int(v) for k, v in raw["counters"].items()},
+        rungs={str(k): str(v) for k, v in raw.get("rungs", {}).items()},
         cached=bool(raw.get("cached", False)),
+        resumed=bool(raw.get("resumed", False)),
     )
 
 

@@ -174,11 +174,23 @@ class StatsCollector:
             "result_cache_hits": merged.get("result_cache_hits", 0),
             "result_cache_misses": merged.get("result_cache_misses", 0),
             "result_cache_evictions": merged.get("result_cache_evictions", 0),
+            "result_cache_write_errors": merged.get(
+                "result_cache_write_errors", 0),
             # Compiled transfer plans (repro.analysis.plan).
             "plans_compiled": merged.get("plans_compiled", 0),
             "plan_exec": merged.get("plan_exec", 0),
             "constraints_batched": merged.get("constraints_batched", 0),
             "closures_avoided": merged.get("closures_avoided", 0),
+            # Resource governance (repro.core.budget, analyzer ladder).
+            "budget_checkpoints": merged.get("budget_checkpoints", 0),
+            "budget_interrupts": merged.get("budget_interrupts", 0),
+            "degradations": merged.get("degradations", 0),
+            # Robustness instrumentation (sentinel, faults, journal).
+            "paranoid_checks": merged.get("paranoid_checks", 0),
+            "integrity_failures": merged.get("integrity_failures", 0),
+            "faults_injected": merged.get("faults_injected", 0),
+            "journal_records": merged.get("journal_records", 0),
+            "journal_torn_lines": merged.get("journal_torn_lines", 0),
         }
 
 

@@ -18,6 +18,9 @@ runs.  This subsystem is that batch layer:
 * :mod:`repro.service.cache` -- :class:`ResultCache`: a
   content-addressed JSON-on-disk store, version-stamped so stale
   entries self-invalidate.
+* :mod:`repro.service.journal` -- :class:`BatchJournal`: an
+  append-only, fsync'd JSONL record of finished jobs, making batches
+  resumable after a mid-run kill (``python -m repro batch --resume``).
 * :mod:`repro.service.suite` -- :func:`run_suite`: the whole
   17-benchmark suite through the service, the execution path shared by
   the CLI (``python -m repro batch``) and the benchmark harness.
@@ -25,16 +28,19 @@ runs.  This subsystem is that batch layer:
 
 from .cache import ResultCache
 from .job import AnalysisJob, CheckVerdict, JobResult, ProcedureSummary, execute_job
+from .journal import BatchJournal, batch_id
 from .scheduler import BatchResult, run_batch
 from .suite import run_suite, suite_jobs
 
 __all__ = [
     "AnalysisJob",
+    "BatchJournal",
     "BatchResult",
     "CheckVerdict",
     "JobResult",
     "ProcedureSummary",
     "ResultCache",
+    "batch_id",
     "execute_job",
     "run_batch",
     "run_suite",

@@ -26,12 +26,15 @@ import json
 import os
 import shutil
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
 
 from .. import __version__
 from ..core import stats
 from ..core.serialize import job_result_from_dict, job_result_to_dict
+from ..errors import CacheCorrupt
+from ..testing import faults
 from .job import OUTCOME_OK, JobResult
 
 _KEY_SUFFIX = ".json"
@@ -57,6 +60,13 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.stores = 0
+        self.write_errors = 0
+        #: Set after an unrecoverable write error (ENOSPC, read-only
+        #: dir): reads keep working, further writes are skipped for the
+        #: rest of the run instead of failing every job.
+        self.disabled = False
+        #: The last :class:`~repro.errors.CacheCorrupt` evicted, if any.
+        self.last_corruption: Optional[CacheCorrupt] = None
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -78,8 +88,8 @@ class ResultCache:
         except FileNotFoundError:
             self._miss()
             return None
-        except (ValueError, KeyError, TypeError, OSError):
-            self._evict(path)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            self._evict(path, CacheCorrupt(path, f"{type(exc).__name__}: {exc}"))
             self._miss()
             return None
         self.hits += 1
@@ -88,22 +98,38 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: JobResult) -> bool:
-        """Store an ``ok`` result atomically; returns True if written."""
-        if result.outcome != OUTCOME_OK:
+        """Store an ``ok`` result atomically; returns True if written.
+
+        A write failure (ENOSPC, read-only directory, permission loss)
+        is an environment problem, not an analysis problem: the cache
+        disables itself for the rest of the run with a warning instead
+        of crashing the batch, and reads continue to work.
+        """
+        if result.outcome != OUTCOME_OK or self.disabled:
             return False
-        self.dir.mkdir(parents=True, exist_ok=True)
-        entry = {"repro_version": self.version,
-                 "result": job_result_to_dict(result)}
-        fd, tmp = tempfile.mkstemp(dir=str(self.dir), suffix=".tmp")
+        tmp = None
         try:
+            if faults.fire("cache_enospc"):
+                faults.raise_enospc(str(self.dir))
+            self.dir.mkdir(parents=True, exist_ok=True)
+            entry = {"repro_version": self.version,
+                     "result": job_result_to_dict(result)}
+            fd, tmp = tempfile.mkstemp(dir=str(self.dir), suffix=".tmp")
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh)
             os.replace(tmp, self._path(key))
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except OSError as exc:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            self.write_errors += 1
+            stats.bump("result_cache_write_errors")
+            self.disabled = True
+            warnings.warn(
+                f"result cache disabled for this run: cannot write to "
+                f"{self.dir} ({exc})", RuntimeWarning, stacklevel=2)
             return False
         self.stores += 1
         return True
@@ -112,7 +138,9 @@ class ResultCache:
         self.misses += 1
         stats.bump("result_cache_misses")
 
-    def _evict(self, path: Path) -> None:
+    def _evict(self, path: Path, corruption: Optional[CacheCorrupt] = None) -> None:
+        if corruption is not None:
+            self.last_corruption = corruption
         try:
             path.unlink()
         except OSError:
@@ -154,4 +182,5 @@ class ResultCache:
         return {"result_cache_hits": self.hits,
                 "result_cache_misses": self.misses,
                 "result_cache_evictions": self.evictions,
-                "result_cache_stores": self.stores}
+                "result_cache_stores": self.stores,
+                "result_cache_write_errors": self.write_errors}

@@ -22,10 +22,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 OUTCOME_OK = "ok"
+#: The analysis completed, but only after descending the precision
+#: ladder (or synthesizing top states) because a resource budget ran
+#: out.  The verdicts are sound; some checks are unknown instead of
+#: verified.
+OUTCOME_DEGRADED = "degraded"
 OUTCOME_TIMEOUT = "timeout"
 OUTCOME_ERROR = "error"
 
-OUTCOMES = (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_ERROR)
+OUTCOMES = (OUTCOME_OK, OUTCOME_DEGRADED, OUTCOME_TIMEOUT, OUTCOME_ERROR)
+
+#: Outcomes that carry a sound analysis answer (vs. no answer at all).
+COMPLETED_OUTCOMES = (OUTCOME_OK, OUTCOME_DEGRADED)
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,12 @@ class AnalysisJob:
     widening_thresholds: Tuple[float, ...] = ()
     integer_mode: bool = True
     compile_transfer: bool = True
+    #: Per-procedure-attempt resource budgets (None = unbounded); see
+    #: :class:`repro.core.budget.Budget` and the analyzer's degradation
+    #: ladder.
+    time_budget: Optional[float] = None
+    iteration_budget: Optional[int] = None
+    cell_budget: Optional[int] = None
 
     def options(self) -> Dict[str, object]:
         """The analyzer options in normalised (JSON-stable) form.
@@ -49,7 +63,9 @@ class AnalysisJob:
         caller chooses to call it.  ``compile_transfer`` *is* included
         even though compiled and interpreted runs produce identical
         results: the cache key stays an honest description of how the
-        result was computed.
+        result was computed.  The budgets are included too -- a tightly
+        budgeted run can legitimately produce different (degraded)
+        verdicts than an unbounded one, so they must not share a key.
         """
         return {
             "domain": self.domain,
@@ -58,6 +74,12 @@ class AnalysisJob:
             "widening_thresholds": [float(t) for t in self.widening_thresholds],
             "integer_mode": bool(self.integer_mode),
             "compile_transfer": bool(self.compile_transfer),
+            "time_budget": (None if self.time_budget is None
+                            else float(self.time_budget)),
+            "iteration_budget": (None if self.iteration_budget is None
+                                 else int(self.iteration_budget)),
+            "cell_budget": (None if self.cell_budget is None
+                            else int(self.cell_budget)),
         }
 
     def key(self) -> str:
@@ -115,11 +137,23 @@ class JobResult:
     checks: List[CheckVerdict] = field(default_factory=list)
     procedures: List[ProcedureSummary] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-procedure domain that actually produced the invariants; a
+    #: value below ``domain`` marks a ladder descent, ``"<top>"`` a
+    #: full fall-through to synthesized top states.
+    rungs: Dict[str, str] = field(default_factory=dict)
     cached: bool = field(default=False, compare=False)
+    #: Served from a batch journal during ``--resume`` (like ``cached``,
+    #: excluded from equality).
+    resumed: bool = field(default=False, compare=False)
 
     @property
     def ok(self) -> bool:
         return self.outcome == OUTCOME_OK
+
+    @property
+    def completed(self) -> bool:
+        """The job produced a sound answer (``ok`` or ``degraded``)."""
+        return self.outcome in COMPLETED_OUTCOMES
 
     @property
     def checks_total(self) -> int:
@@ -132,7 +166,7 @@ class JobResult:
     @property
     def all_verified(self) -> bool:
         """True iff the analysis completed and proved every assertion."""
-        return self.ok and all(c.verified for c in self.checks)
+        return self.completed and all(c.verified for c in self.checks)
 
     def verdicts(self) -> List[Tuple[str, str, bool]]:
         """The assertion verdicts as comparable plain tuples."""
@@ -156,6 +190,10 @@ def execute_job(job: AnalysisJob) -> JobResult:
     """
     from ..analysis.analyzer import Analyzer
     from ..core import stats
+    from ..testing import faults
+
+    if faults.fire("worker_kill", job.label):
+        faults.kill_process()
 
     analyzer = Analyzer(
         domain=job.domain,
@@ -164,6 +202,9 @@ def execute_job(job: AnalysisJob) -> JobResult:
         widening_thresholds=job.widening_thresholds,
         integer_mode=job.integer_mode,
         compile_transfer=job.compile_transfer,
+        time_budget=job.time_budget,
+        iteration_budget=job.iteration_budget,
+        cell_budget=job.cell_budget,
     )
     with stats.collecting() as collector:
         result = analyzer.analyze(job.source)
@@ -185,17 +226,20 @@ def execute_job(job: AnalysisJob) -> JobResult:
         ))
     counters = dict(collector.counter_summary())
     counters["closures"] = int(collector.closure_stats()["closures"])
+    rungs = {proc.name: ("<top>" if proc.exhausted else proc.domain_used)
+             for proc in result.procedures if proc.degraded}
     return JobResult(
         key=job.key(),
         label=job.label,
         domain=job.domain,
-        outcome=OUTCOME_OK,
+        outcome=OUTCOME_DEGRADED if result.degraded else OUTCOME_OK,
         seconds=result.seconds,
         octagon_seconds=collector.total_seconds + collector.closure_seconds,
         compile_transfer=job.compile_transfer,
         checks=checks,
         procedures=procedures,
         counters=counters,
+        rungs=rungs,
     )
 
 

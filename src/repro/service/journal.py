@@ -1,0 +1,151 @@
+"""Crash-resumable batches: an append-only journal of finished jobs.
+
+A batch over many programs can die halfway -- OOM-killer, SIGKILL, a
+power cut -- with hours of finished work lost, because results only
+existed in the parent's memory (the persistent cache stores ``ok``
+results, but not ``degraded``/``timeout``/``error`` ones, and may be
+disabled or cold).  The journal closes that gap:
+
+* :func:`run_batch <repro.service.scheduler.run_batch>` appends one
+  JSON line per *finished* job -- every final outcome, in completion
+  order -- and flushes + fsyncs each line, so the journal is exactly as
+  complete as the work actually done;
+* ``python -m repro batch --resume`` loads the journal before
+  scheduling: jobs whose key already has a line are served from it
+  (marked ``resumed=True``) and only unfinished jobs re-run;
+* a process killed *mid-write* leaves a dangling partial last line;
+  :meth:`BatchJournal.load` tolerates exactly that -- undecodable
+  lines are dropped (counted as ``journal_torn_lines``), never fatal;
+* starting the same batch *fresh* (no ``--resume``) atomically rotates
+  a leftover journal aside (``.bak``) instead of appending to it.
+
+Identity: the default journal path is keyed by the batch's content --
+the SHA-256 over the sorted job keys -- so "the same batch" resumes
+and "a different batch" gets a different file, with no coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from ..core import stats
+from ..core.serialize import job_result_from_dict, job_result_to_dict
+from .cache import default_cache_root
+from .job import AnalysisJob, JobResult
+
+
+def batch_id(jobs: Sequence[AnalysisJob]) -> str:
+    """Content-addressed identity of a batch: hash of its job keys.
+
+    Order-insensitive: the same set of jobs is the same batch however
+    the caller enumerates it.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(job.key() for job in jobs):
+        digest.update(key.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+class BatchJournal:
+    """Append-only JSONL record of finished jobs for one batch."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.records = 0
+        self.torn_lines = 0
+
+    @classmethod
+    def for_jobs(cls, jobs: Sequence[AnalysisJob],
+                 root: Optional[str] = None) -> "BatchJournal":
+        """The default journal for this batch, under the cache root."""
+        base = Path(root if root is not None else default_cache_root())
+        return cls(base / "journals" / f"{batch_id(jobs)}.jsonl")
+
+    # ------------------------------------------------------------------
+    # reading (resume)
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, JobResult]:
+        """Finished jobs recorded so far, keyed by job key.
+
+        Tolerates the torn tail a mid-write crash leaves behind: any
+        line that fails to decode is skipped (and counted), because a
+        lost last record only costs re-running one job.  Later lines
+        win when a key repeats (a retry after a previous torn run).
+        """
+        done: Dict[str, JobResult] = {}
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except FileNotFoundError:
+            return done
+        except OSError:
+            return done
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                result = job_result_from_dict(entry["result"])
+                key = str(entry["key"])
+            except (ValueError, KeyError, TypeError):
+                self.torn_lines += 1
+                stats.bump("journal_torn_lines")
+                continue
+            done[key] = result
+        return done
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def record(self, result: JobResult) -> None:
+        """Append one finished job; durable before returning."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        line = json.dumps({"key": result.key,
+                           "result": job_result_to_dict(result)},
+                          separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records += 1
+        stats.bump("journal_records")
+
+    def rotate(self) -> Optional[Path]:
+        """Atomically move a leftover journal aside; returns the backup
+        path if one was rotated.
+
+        Called when a batch starts *fresh*: stale records must not leak
+        into the new run, but are kept (one generation) for forensics.
+        """
+        if self._fh is not None:
+            raise RuntimeError("cannot rotate an open journal")
+        backup = self.path.with_suffix(".jsonl.bak")
+        try:
+            os.replace(self.path, backup)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        stats.bump("journal_rotations")
+        return backup
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["BatchJournal", "batch_id"]

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..errors import WorkerDied
 from .cache import ResultCache
 from .job import (
     OUTCOME_ERROR,
@@ -52,6 +53,7 @@ from .job import (
     JobResult,
     execute_job,
 )
+from .journal import BatchJournal
 
 #: Grace period for ``join()`` after ``terminate()`` before escalating.
 _KILL_GRACE_S = 5.0
@@ -66,10 +68,17 @@ class BatchResult:
     workers: int
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Jobs served from the batch journal during ``--resume``.
+    resumed: int = 0
 
     @property
     def all_ok(self) -> bool:
         return all(r.ok for r in self.results)
+
+    @property
+    def all_completed(self) -> bool:
+        """Every job produced a sound answer (``ok`` or ``degraded``)."""
+        return all(r.completed for r in self.results)
 
     @property
     def checks_total(self) -> int:
@@ -149,6 +158,8 @@ def run_batch(
     timeout: Optional[float] = None,
     retries: int = 1,
     cache: Optional[ResultCache] = None,
+    journal: Optional[BatchJournal] = None,
+    resume: bool = False,
     worker: Callable[[AnalysisJob], JobResult] = execute_job,
 ) -> BatchResult:
     """Run ``jobs`` through the service; one result per job, in order.
@@ -156,6 +167,11 @@ def run_batch(
     ``workers=None`` uses :func:`default_workers` (``os.cpu_count()``),
     capped at the number of jobs.  ``retries`` is the number of *extra*
     attempts granted after a worker raises or dies; timeouts are final.
+
+    With a ``journal``, every finished job is appended durably as it
+    completes.  ``resume=True`` first serves jobs already journalled by
+    a previous (killed) run of the same batch; ``resume=False`` rotates
+    any stale journal aside and starts fresh.
     """
     jobs = list(jobs)
     if workers is None:
@@ -164,39 +180,66 @@ def run_batch(
     start = time.perf_counter()
 
     results: List[Optional[JobResult]] = [None] * len(jobs)
-    cache_hits = cache_misses = 0
+    cache_hits = cache_misses = resumed = 0
+    done = {}
+    if journal is not None:
+        if resume:
+            done = journal.load()
+        else:
+            journal.rotate()
     pending: List[int] = []
     for idx, job in enumerate(jobs):
+        key = job.key()
+        prior = done.get(key)
+        if prior is not None:
+            prior.resumed = True
+            results[idx] = prior
+            resumed += 1
+            continue
         if cache is not None:
-            hit = cache.get(job.key())
+            hit = cache.get(key)
             if hit is not None:
                 results[idx] = hit
                 cache_hits += 1
+                # Journal cache hits too: resume must not depend on the
+                # cache still being present (or enabled) later.
+                if journal is not None:
+                    journal.record(hit)
                 continue
             cache_misses += 1
         pending.append(idx)
 
-    if workers == 1:
-        _run_inline(jobs, pending, results, retries=retries, cache=cache,
-                    worker=worker)
-    else:
-        _run_pool(jobs, pending, results, workers=workers, timeout=timeout,
-                  retries=retries, cache=cache, worker=worker)
+    try:
+        if workers == 1:
+            _run_inline(jobs, pending, results, retries=retries, cache=cache,
+                        journal=journal, worker=worker)
+        else:
+            _run_pool(jobs, pending, results, workers=workers,
+                      timeout=timeout, retries=retries, cache=cache,
+                      journal=journal, worker=worker)
+    finally:
+        if journal is not None:
+            journal.close()
 
     assert all(r is not None for r in results)
     return BatchResult(results=list(results),
                        wall_seconds=time.perf_counter() - start,
                        workers=workers,
-                       cache_hits=cache_hits, cache_misses=cache_misses)
+                       cache_hits=cache_hits, cache_misses=cache_misses,
+                       resumed=resumed)
 
 
-def _store(cache: Optional[ResultCache], job: AnalysisJob,
-           result: JobResult) -> None:
+def _store(cache: Optional[ResultCache], journal: Optional[BatchJournal],
+           job: AnalysisJob, result: JobResult) -> None:
+    """Persist one finished job: cache (``ok`` only) + journal (all)."""
     if cache is not None and result.outcome == OUTCOME_OK:
         cache.put(job.key(), result)
+    if journal is not None:
+        journal.record(result)
 
 
-def _run_inline(jobs, pending, results, *, retries, cache, worker) -> None:
+def _run_inline(jobs, pending, results, *, retries, cache, journal,
+                worker) -> None:
     """``workers=1``: execute in the calling process, no fork."""
     for idx in pending:
         job = jobs[idx]
@@ -213,11 +256,11 @@ def _run_inline(jobs, pending, results, *, retries, cache, worker) -> None:
                 result = _error_result(job, traceback.format_exc(), attempt)
                 break
         results[idx] = result
-        _store(cache, job, result)
+        _store(cache, journal, job, result)
 
 
 def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
-              worker) -> None:
+              journal, worker) -> None:
     """Bounded process fan-out with per-job deadlines."""
     ctx = _context()
     queue = [(idx, 1) for idx in pending]  # (job index, attempt number)
@@ -238,7 +281,7 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
         conn.close()
         del running[conn]
         results[entry.idx] = result
-        _store(cache, jobs[entry.idx], result)
+        _store(cache, journal, jobs[entry.idx], result)
 
     def retry_or_fail(conn, entry: _Running, message: str) -> None:
         entry.proc.join()
@@ -247,8 +290,9 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
         if entry.attempt <= retries:
             queue.append((entry.idx, entry.attempt + 1))
         else:
-            results[entry.idx] = _error_result(jobs[entry.idx], message,
-                                               entry.attempt)
+            result = _error_result(jobs[entry.idx], message, entry.attempt)
+            results[entry.idx] = result
+            _store(cache, journal, jobs[entry.idx], result)
 
     while queue or running:
         while queue and len(running) < workers:
@@ -280,8 +324,7 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
                 except EOFError:
                     entry.proc.join()
                     retry_or_fail(conn, entry,
-                                  "worker died before reporting "
-                                  f"(exit code {entry.proc.exitcode})")
+                                  str(WorkerDied(entry.proc.exitcode)))
                     continue
                 if status == "ok":
                     payload.attempts = entry.attempt
@@ -291,7 +334,7 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
             elif not entry.proc.is_alive():
                 retry_or_fail(
                     conn, entry,
-                    f"worker died with exit code {entry.proc.exitcode}")
+                    str(WorkerDied(entry.proc.exitcode, stage="mid-job")))
             elif expired:
                 entry.proc.terminate()
                 entry.proc.join(_KILL_GRACE_S)

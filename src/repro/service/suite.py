@@ -14,6 +14,7 @@ from typing import List, Optional
 from ..workloads.suite import load_suite
 from .cache import ResultCache
 from .job import AnalysisJob
+from .journal import BatchJournal
 from .scheduler import BatchResult, run_batch
 
 
@@ -28,7 +29,9 @@ def run_suite(scale: Optional[str] = None, *, domain: str = "octagon",
               analyzer: Optional[str] = None, workers: Optional[int] = None,
               timeout: Optional[float] = None, retries: int = 1,
               cache: Optional[ResultCache] = None,
-              use_cache: bool = False, **options) -> BatchResult:
+              use_cache: bool = False,
+              journal: Optional[BatchJournal] = None,
+              resume: bool = False, **options) -> BatchResult:
     """Run the whole suite as a batch.
 
     Caching is opt-in here (``use_cache=True`` or an explicit
@@ -39,4 +42,4 @@ def run_suite(scale: Optional[str] = None, *, domain: str = "octagon",
         cache = ResultCache()
     jobs = suite_jobs(scale, domain=domain, analyzer=analyzer, **options)
     return run_batch(jobs, workers=workers, timeout=timeout, retries=retries,
-                     cache=cache)
+                     cache=cache, journal=journal, resume=resume)

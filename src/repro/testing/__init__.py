@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection registry used by
+the chaos tests (and available to operators reproducing incidents):
+it can corrupt DBMs, kill workers mid-job, truncate cache/journal
+files and fake ENOSPC at the hook points wired into production code.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -91,7 +91,7 @@ class TestBatch:
         env = self._env(tmp_path)
         cold = run_cli("batch", str(a), str(b), "--jobs", "2", env=env)
         assert cold.returncode == 0, cold.stderr
-        assert "2 ok, 0 timeout, 0 error" in cold.stdout
+        assert "2 ok, 0 degraded, 0 timeout, 0 error" in cold.stdout
         assert "cache: 0 hits, 2 misses" in cold.stdout
         warm = run_cli("batch", str(a), str(b), "--jobs", "2", env=env)
         assert warm.returncode == 0, warm.stderr

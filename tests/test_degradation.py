@@ -1,0 +1,147 @@
+"""Tests for the precision degradation ladder and degraded outcomes."""
+
+import pytest
+
+from repro.analysis.analyzer import LADDER, Analyzer
+from repro.core import stats
+from repro.service.cache import ResultCache
+from repro.service.job import (
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    AnalysisJob,
+    execute_job,
+)
+from repro.service.scheduler import run_batch
+from repro.service.suite import run_suite
+
+LOOP_SOURCE = """
+proc count {
+  x = 0;
+  while (x < 1000) { x = x + 1; }
+  assert (x >= 1000);
+}
+"""
+
+
+class TestLadder:
+    def test_every_ladder_starts_at_its_domain(self):
+        for domain, rungs in LADDER.items():
+            assert rungs[0] == domain
+
+    def test_every_ladder_bottoms_out_at_interval(self):
+        for rungs in LADDER.values():
+            assert rungs[-1] == "interval"
+
+    def test_rungs_without_degrade(self):
+        analyzer = Analyzer(domain="octagon", degrade=False)
+        assert analyzer._rungs() == ["octagon"]
+
+    def test_rungs_with_degrade(self):
+        analyzer = Analyzer(domain="octagon")
+        assert analyzer._rungs() == ["octagon", "zone", "interval"]
+
+
+class TestAnalyzerDegradation:
+    def test_unbudgeted_run_is_never_degraded(self):
+        result = Analyzer().analyze(LOOP_SOURCE)
+        assert not result.degraded
+        proc = result.procedure("count")
+        assert proc.domain_used == "octagon"
+        assert not proc.exhausted
+        assert result.all_verified
+
+    def test_exhausting_every_rung_synthesizes_top(self):
+        result = Analyzer(iteration_budget=3).analyze(LOOP_SOURCE)
+        proc = result.procedure("count")
+        assert proc.degraded and proc.exhausted
+        assert result.degraded
+        # Top states are sound: the check becomes unknown, never wrong.
+        assert not proc.checks[0].verified
+        # Every node's invariant is top (trivially contains everything).
+        for node in range(proc.cfg.n_nodes):
+            assert proc.fixpoint.at(node).is_top()
+
+    def test_cell_budget_descends_to_zone(self):
+        # Only the octagon charges DBM closure cells, so a cell budget
+        # interrupts the first rung and the zone completes the job.
+        result = Analyzer(cell_budget=10).analyze(LOOP_SOURCE)
+        proc = result.procedure("count")
+        assert proc.degraded and not proc.exhausted
+        assert proc.domain_used == "zone"
+
+    def test_degraded_verified_subset_of_full(self):
+        full = Analyzer().analyze(LOOP_SOURCE)
+        degraded = Analyzer(iteration_budget=3).analyze(LOOP_SOURCE)
+
+        def verified(result):
+            return {(c.procedure, c.cond_text)
+                    for c in result.checks if c.verified}
+
+        assert verified(degraded) <= verified(full)
+
+    def test_degradation_counters(self):
+        with stats.collecting() as collector:
+            Analyzer(iteration_budget=3).analyze(LOOP_SOURCE)
+        counters = collector.merged_counters()
+        # octagon, zone and interval each ran out => 3 interrupts.
+        assert counters["budget_interrupts"] >= 3
+        assert counters["degradations"] >= 3
+
+
+class TestJobDegradation:
+    def test_execute_job_reports_degraded_outcome(self):
+        job = AnalysisJob(source=LOOP_SOURCE, label="loop",
+                          iteration_budget=3)
+        result = execute_job(job)
+        assert result.outcome == OUTCOME_DEGRADED
+        assert result.completed and not result.ok
+        assert result.rungs == {"count": "<top>"}
+
+    def test_execute_job_records_ladder_rung(self):
+        result = execute_job(AnalysisJob(source=LOOP_SOURCE, cell_budget=10))
+        assert result.outcome == OUTCOME_DEGRADED
+        assert result.rungs == {"count": "zone"}
+
+    def test_budgets_are_part_of_the_job_key(self):
+        free = AnalysisJob(source=LOOP_SOURCE)
+        tight = AnalysisJob(source=LOOP_SOURCE, iteration_budget=3)
+        assert free.key() != tight.key()
+
+    def test_degraded_results_are_not_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        ok_job = AnalysisJob(source="x = 1; assert (x == 1);")
+        degraded_job = AnalysisJob(source=LOOP_SOURCE, iteration_budget=3)
+        batch = run_batch([ok_job, degraded_job], workers=1, cache=cache)
+        assert [r.outcome for r in batch.results] == [OUTCOME_OK,
+                                                      OUTCOME_DEGRADED]
+        assert cache.get(ok_job.key()) is not None
+        # A degraded verdict reflects this run's budget exhaustion, not
+        # the job's content: it must never be served to a future run.
+        assert cache.get(degraded_job.key()) is None
+
+
+@pytest.mark.slow
+class TestSuiteDegradation:
+    def test_tight_budget_suite_completes_soundly(self):
+        """The ISSUE acceptance bar: under a tight budget every suite
+        job still completes (ok or degraded -- never timeout/error) and
+        degraded runs never *prove* anything the full-precision run
+        could not."""
+        full = run_suite("small", retries=0)
+        tight = run_suite("small", retries=0, iteration_budget=40)
+
+        assert full.all_completed
+        assert tight.all_completed
+        counts = tight.outcome_counts()
+        assert counts.get("timeout", 0) == 0
+        assert counts.get("error", 0) == 0
+        assert counts.get(OUTCOME_DEGRADED, 0) > 0
+
+        def verified(batch):
+            return {r.label: {(c.procedure, c.cond_text)
+                              for c in r.checks if c.verified}
+                    for r in batch.results}
+
+        full_v, tight_v = verified(full), verified(tight)
+        for label, proved in tight_v.items():
+            assert proved <= full_v[label], label

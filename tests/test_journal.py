@@ -1,0 +1,157 @@
+"""Tests for the crash-resumable batch journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.job import AnalysisJob, CheckVerdict, JobResult
+from repro.service.journal import BatchJournal, batch_id
+from repro.service.scheduler import run_batch
+from repro.testing import faults
+
+OK_SOURCE = "x = [0, 4]; y = x + 1; assert(y <= 5);"
+OK2_SOURCE = "z = 3; assert(z == 3);"
+
+
+def _result(key: str, *, label: str = "job", outcome: str = "ok") -> JobResult:
+    return JobResult(key=key, label=label, domain="octagon", outcome=outcome,
+                     seconds=0.5,
+                     checks=[CheckVerdict("main", "x <= 5", True)],
+                     rungs={"main": "zone"} if outcome == "degraded" else {})
+
+
+def _boom_worker(job):
+    raise AssertionError(f"worker must not run for journaled job {job.label}")
+
+
+class TestBatchId:
+    def test_order_insensitive(self):
+        a = AnalysisJob(source=OK_SOURCE, label="a")
+        b = AnalysisJob(source=OK2_SOURCE, label="b")
+        assert batch_id([a, b]) == batch_id([b, a])
+
+    def test_content_sensitive(self):
+        a = AnalysisJob(source=OK_SOURCE)
+        tight = AnalysisJob(source=OK_SOURCE, iteration_budget=3)
+        assert batch_id([a]) != batch_id([tight])
+
+    def test_for_jobs_path_under_root(self, tmp_path):
+        jobs = [AnalysisJob(source=OK_SOURCE)]
+        journal = BatchJournal.for_jobs(jobs, root=str(tmp_path))
+        assert journal.path == tmp_path / "journals" / f"{batch_id(jobs)}.jsonl"
+
+
+class TestRecordAndLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(_result("k1"))
+            journal.record(_result("k2", outcome="degraded"))
+        loaded = BatchJournal(path).load()
+        assert set(loaded) == {"k1", "k2"}
+        assert loaded["k1"] == _result("k1")
+        assert loaded["k2"].outcome == "degraded"
+        assert loaded["k2"].rungs == {"main": "zone"}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert BatchJournal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_later_lines_win(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(_result("k1", outcome="error"))
+            journal.record(_result("k1", outcome="ok"))
+        loaded = BatchJournal(path).load()
+        assert loaded["k1"].outcome == "ok"
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(_result("k1"))
+            journal.record(_result("k2"))
+        # A crash mid-write leaves a dangling partial last line.
+        faults.truncate_file(str(path), os.path.getsize(path) - 10)
+        journal = BatchJournal(path)
+        loaded = journal.load()
+        assert set(loaded) == {"k1"}
+        assert journal.torn_lines == 1
+
+    def test_garbage_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(_result("k1"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps({"missing": "fields"}) + "\n")
+        journal = BatchJournal(path)
+        loaded = journal.load()
+        assert set(loaded) == {"k1"}
+        assert journal.torn_lines == 2
+
+
+class TestRotation:
+    def test_rotate_moves_stale_journal_aside(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(_result("k1"))
+        backup = BatchJournal(path).rotate()
+        assert backup == path.with_suffix(".jsonl.bak")
+        assert backup.exists() and not path.exists()
+        assert BatchJournal(path).load() == {}
+
+    def test_rotate_nothing_is_fine(self, tmp_path):
+        assert BatchJournal(tmp_path / "absent.jsonl").rotate() is None
+
+    def test_rotate_open_journal_refused(self, tmp_path):
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        journal.record(_result("k1"))
+        with pytest.raises(RuntimeError):
+            journal.rotate()
+        journal.close()
+
+
+class TestBatchIntegration:
+    def _jobs(self):
+        return [AnalysisJob(source=OK_SOURCE, label="a"),
+                AnalysisJob(source=OK2_SOURCE, label="b")]
+
+    def test_batch_journals_every_job(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        jobs = self._jobs()
+        batch = run_batch(jobs, workers=1, journal=BatchJournal(path))
+        assert batch.all_ok
+        loaded = BatchJournal(path).load()
+        assert set(loaded) == {job.key() for job in jobs}
+
+    def test_resume_skips_journaled_jobs(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        jobs = self._jobs()
+        first = run_batch(jobs, workers=1, journal=BatchJournal(path))
+        # The resumed run's worker would blow up if invoked: proof that
+        # journaled jobs are served without re-running anything.
+        second = run_batch(jobs, workers=1, journal=BatchJournal(path),
+                           resume=True, worker=_boom_worker)
+        assert second.resumed == 2
+        assert all(r.resumed for r in second.results)
+        assert [r.verdicts() for r in second.results] \
+            == [r.verdicts() for r in first.results]
+
+    def test_resume_runs_only_missing_jobs(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        jobs = self._jobs()
+        run_batch(jobs[:1], workers=1, journal=BatchJournal(path))
+        batch = run_batch(jobs, workers=1, journal=BatchJournal(path),
+                          resume=True)
+        assert batch.resumed == 1
+        assert batch.results[0].resumed and not batch.results[1].resumed
+        assert batch.all_ok
+
+    def test_fresh_run_rotates_instead_of_resuming(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        jobs = self._jobs()
+        run_batch(jobs, workers=1, journal=BatchJournal(path))
+        batch = run_batch(jobs, workers=1, journal=BatchJournal(path),
+                          resume=False)
+        assert batch.resumed == 0
+        assert path.with_suffix(".jsonl.bak").exists()
