@@ -1,0 +1,152 @@
+"""Telemetry overhead: disabled observability must be (near) free.
+
+Three passes over the 17-benchmark suite, all inline (``workers=1``,
+no fork noise):
+
+1. stripped -- the tracer's entry points (``span``/``emit``) replaced
+   with bare no-op functions: what the code would cost if the
+   instrumentation calls were deleted outright;
+2. disabled -- the shipped default: tracing off, histograms off, so
+   every instrumentation site is one module-global flag test (the hot
+   fixpoint loops install their traced wrappers only when tracing is
+   on, so they do not even pay the test per edge);
+3. enabled -- spans recorded, histograms observed, worker events
+   re-parented: the honest price of full telemetry, reported but not
+   gated (you opted in).
+
+The gate: the disabled pass must stay within 2% of the stripped pass.
+All three modes run *interleaved* (stripped, disabled, enabled,
+stripped, ...) and each comparison is estimated two ways: the ratio
+of best-of-round wall times (the minimum converges to the
+quiet-machine time as rounds accumulate) and the median of the
+per-round paired ratios (adjacent runs see the same host load, so
+the ratio cancels it).  Host load spikes can inflate either
+estimator but only ever *inflate* it -- a real regression shifts
+both -- so the gate (and the table) take the smaller of the two.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.obs import metrics, trace
+from repro.service import run_suite
+
+ROUNDS = 7
+
+
+def _null_span(name, /, **attrs):
+    return trace.NULL_SPAN
+
+
+def _null_emit(name, start, end, *, tid=None, args=None):
+    return None
+
+
+def _keep_best(best, batch):
+    if best is None or batch.wall_seconds < best.wall_seconds:
+        return batch
+    return best
+
+
+def _measure(scale):
+    # One unmeasured pass: the first suite run of a process is a few
+    # percent slower (imports, allocator warmup) and would otherwise be
+    # charged entirely to whichever mode runs first.
+    run_suite(scale, workers=1, retries=0)
+
+    stripped = disabled = enabled = None
+    spans = 0
+    disabled_ratios = []
+    enabled_ratios = []
+    for _ in range(ROUNDS):
+        real_span, real_emit = trace.span, trace.emit
+        trace.span, trace.emit = _null_span, _null_emit
+        try:
+            s_batch = run_suite(scale, workers=1, retries=0)
+        finally:
+            trace.span, trace.emit = real_span, real_emit
+
+        d_batch = run_suite(scale, workers=1, retries=0)
+
+        previous = metrics.set_enabled(True)
+        trace.reset()
+        trace.enable()
+        try:
+            e_batch = run_suite(scale, workers=1, retries=0)
+            if enabled is None or e_batch.wall_seconds < enabled.wall_seconds:
+                spans = sum(1 for e in trace.events()
+                            if e.get("ph") == "X")
+        finally:
+            trace.disable()
+            trace.reset()
+            metrics.set_enabled(previous)
+
+        stripped = _keep_best(stripped, s_batch)
+        disabled = _keep_best(disabled, d_batch)
+        enabled = _keep_best(enabled, e_batch)
+        base = max(s_batch.wall_seconds, 1e-12)
+        disabled_ratios.append(d_batch.wall_seconds / base)
+        enabled_ratios.append(e_batch.wall_seconds / base)
+
+    def estimate(best, paired):
+        median = sorted(paired)[len(paired) // 2]
+        best_ratio = best.wall_seconds / max(stripped.wall_seconds, 1e-12)
+        return min(median, best_ratio)
+
+    return {"stripped": stripped, "disabled": disabled,
+            "enabled": enabled, "spans": spans,
+            "disabled_ratio": estimate(disabled, disabled_ratios),
+            "enabled_ratio": estimate(enabled, enabled_ratios)}
+
+
+def test_obs_overhead(benchmark, scale):
+    result = run_once(benchmark, lambda: _measure(scale))
+    stripped, disabled, enabled = (result["stripped"], result["disabled"],
+                                   result["enabled"])
+
+    disabled_pct = (result["disabled_ratio"] - 1.0) * 100.0
+    enabled_pct = (result["enabled_ratio"] - 1.0) * 100.0
+    rows = [
+        ["stripped (no instrumentation)",
+         f"{stripped.wall_seconds:.3f}", "-",
+         f"{stripped.checks_verified}/{stripped.checks_total}"],
+        ["disabled (shipped default)",
+         f"{disabled.wall_seconds:.3f}", f"{disabled_pct:+.2f}%",
+         f"{disabled.checks_verified}/{disabled.checks_total}"],
+        [f"enabled (spans + histograms, {result['spans']} spans)",
+         f"{enabled.wall_seconds:.3f}", f"{enabled_pct:+.2f}%",
+         f"{enabled.checks_verified}/{enabled.checks_total}"],
+    ]
+    table = format_table(
+        ["telemetry", "wall s", "vs stripped", "verified"],
+        rows,
+        title=f"Telemetry overhead, 17-benchmark suite, scale={scale}")
+    print("\n" + table)
+    save_result("obs_overhead", table)
+    benchmark.extra_info.update({
+        "stripped_s": round(stripped.wall_seconds, 4),
+        "disabled_s": round(disabled.wall_seconds, 4),
+        "enabled_s": round(enabled.wall_seconds, 4),
+        "disabled_overhead_pct": round(disabled_pct, 3),
+        "enabled_overhead_pct": round(enabled_pct, 3),
+        "enabled_spans": result["spans"],
+    })
+
+    # Observation must not change the analysis: identical verdicts and
+    # invariants in all three modes.
+    for a, b in zip(stripped.results, disabled.results):
+        assert a.verdicts() == b.verdicts()
+        assert a.procedures == b.procedures
+    for a, b in zip(stripped.results, enabled.results):
+        assert a.verdicts() == b.verdicts()
+        assert a.procedures == b.procedures
+
+    # The gate: disabled telemetry within 2% of no instrumentation,
+    # judged on the median paired ratio (plus a small absolute floor so
+    # sub-second suites are not gated on scheduler granularity).
+    slack = 0.02 / max(stripped.wall_seconds, 1e-12)
+    assert result["disabled_ratio"] <= 1.02 + slack, (
+        f"disabled-telemetry overhead {disabled_pct:.2f}% (median of "
+        f"{ROUNDS} paired rounds) exceeds the 2% gate")
+    # Enabled tracing recorded real work.
+    assert result["spans"] > 0

@@ -26,6 +26,12 @@ import sys
 
 from .analysis import Analyzer
 from .core.bounds import INF
+from .obs import events
+
+
+def _run_context(args):
+    """The telemetry :class:`RunContext` main() attached, if any."""
+    return getattr(args, "run_context", None)
 
 
 def _fmt(value: float) -> str:
@@ -50,6 +56,19 @@ def _budget_kwargs(args) -> dict:
             "cell_budget": args.cell_budget}
 
 
+def _telemetry(args) -> tuple:
+    """The job telemetry tuple implied by the CLI flags."""
+    ctx = _run_context(args)
+    if ctx is None:
+        return ()
+    wanted = []
+    if ctx.trace_path:
+        wanted.append("trace")
+    if ctx.log_path or ctx.metrics_path:
+        wanted.append("metrics")
+    return tuple(wanted)
+
+
 def cmd_analyze(args) -> int:
     _apply_paranoid(args)
     if len(args.files) > 1:
@@ -60,7 +79,11 @@ def cmd_analyze(args) -> int:
                         widening_delay=args.widening_delay,
                         compile_transfer=not args.no_compile,
                         **_budget_kwargs(args))
-    result = analyzer.analyze(source)
+    ctx = _run_context(args)
+    result = analyzer.analyze(source,
+                              collect=ctx is not None and ctx.active)
+    if ctx is not None and result.octagon_stats is not None:
+        ctx.finish(result.octagon_stats, file=args.files[0])
     failures = 0
     for proc in result.procedures:
         note = ""
@@ -103,8 +126,10 @@ def _analyze_many(args) -> int:
     jobs = jobs_from_files(args.files, domain=args.domain,
                            widening_delay=args.widening_delay,
                            compile_transfer=not args.no_compile,
+                           telemetry=_telemetry(args),
                            **_budget_kwargs(args))
     batch = run_batch(jobs, workers=args.jobs)
+    _finish_batch_run(args, batch)
     failures = 0
     for result in batch.results:
         print(f"== {result.label} ==")
@@ -136,6 +161,27 @@ def _analyze_many(args) -> int:
     return 1 if failures else 0
 
 
+def _finish_batch_run(args, batch) -> None:
+    """Feed batch-level rollups into the telemetry run context."""
+    ctx = _run_context(args)
+    if ctx is None or not ctx.active:
+        return
+    from .obs import metrics
+
+    counts = batch.outcome_counts()
+    ctx.finish(
+        counters=metrics.REGISTRY.counter_summary(batch.counters()),
+        histograms=batch.merged_histograms(),
+        jobs=len(batch.results),
+        ok=counts.get("ok", 0),
+        degraded=counts.get("degraded", 0),
+        failed=counts.get("timeout", 0) + counts.get("error", 0),
+        cache_hits=batch.cache_hits,
+        cache_misses=batch.cache_misses,
+        **batch.op_timings(),
+    )
+
+
 def cmd_batch(args) -> int:
     """Batch front door: files (or the suite) through the service."""
     from .service import BatchJournal, ResultCache, run_batch, suite_jobs
@@ -144,19 +190,21 @@ def cmd_batch(args) -> int:
     _apply_paranoid(args)
     if args.suite:
         if args.files:
-            print("batch: give FILE arguments or --suite, not both",
-                  file=sys.stderr)
+            events.error("batch_usage",
+                         message="give FILE arguments or --suite, not both")
             return 2
         jobs = suite_jobs(args.scale, domain=args.domain,
                           compile_transfer=not args.no_compile,
+                          telemetry=_telemetry(args),
                           **_budget_kwargs(args))
     elif args.files:
         jobs = jobs_from_files(args.files, domain=args.domain,
                                compile_transfer=not args.no_compile,
+                               telemetry=_telemetry(args),
                                **_budget_kwargs(args))
     else:
-        print("batch: no input files (pass FILE... or --suite)",
-              file=sys.stderr)
+        events.error("batch_usage",
+                     message="no input files (pass FILE... or --suite)")
         return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -168,6 +216,7 @@ def cmd_batch(args) -> int:
                    else BatchJournal.for_jobs(jobs, root=args.cache_dir))
     batch = run_batch(jobs, workers=args.jobs, timeout=args.timeout,
                       cache=cache, journal=journal, resume=args.resume)
+    _finish_batch_run(args, batch)
 
     width = max((len(r.label) for r in batch.results), default=0)
     for result in batch.results:
@@ -198,14 +247,23 @@ def cmd_batch(args) -> int:
 
     if args.json:
         from .core.serialize import job_result_to_dict
+        from .obs import metrics
         import json as _json
 
+        ctx = _run_context(args)
+        timings = batch.op_timings()
         document = {
+            "run": ctx.run_id if ctx is not None else None,
             "wall_seconds": batch.wall_seconds,
             "workers": batch.workers,
             "cache_hits": batch.cache_hits,
             "cache_misses": batch.cache_misses,
             "resumed": batch.resumed,
+            "counters": metrics.REGISTRY.counter_summary(batch.counters()),
+            "op_seconds": timings["op_seconds"],
+            "op_self_seconds": timings["op_self_seconds"],
+            "op_calls": timings["op_calls"],
+            "histograms": batch.merged_histograms(),
             "jobs": [job_result_to_dict(r) for r in batch.results],
         }
         with open(args.json, "w") as fh:
@@ -214,6 +272,18 @@ def cmd_batch(args) -> int:
     # A degraded job still produced a sound answer: only jobs with *no*
     # answer (timeout/error) fail the batch.
     return 0 if batch.all_completed else 1
+
+
+def cmd_report(args) -> int:
+    """Render a run report from exported artifacts (no re-analysis)."""
+    from .obs.report import render_report
+
+    try:
+        sys.stdout.write(render_report(args.run, trace_path=args.trace))
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_precondition(args) -> int:
@@ -305,8 +375,26 @@ def main(argv=None) -> int:
                        help="DBM-cell (closure traffic) budget per "
                             "procedure attempt")
 
+    def add_telemetry_flags(p) -> None:
+        p.add_argument("--trace", default=None, metavar="OUT",
+                       help="record spans and write Chrome trace-event "
+                            "JSON (open in Perfetto / chrome://tracing)")
+        p.add_argument("--log-json", dest="log_json", default=None,
+                       metavar="OUT",
+                       help="append structured events as JSON lines; the "
+                            "input of 'python -m repro report'")
+        p.add_argument("--metrics", default=None, metavar="OUT",
+                       help="write the final counter/histogram snapshot "
+                            "in Prometheus text format")
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more diagnostics on stderr (-v info, -vv "
+                            "debug)")
+        p.add_argument("-q", "--quiet", action="store_true",
+                       help="errors only on stderr")
+
     p = sub.add_parser("analyze", help="analyze one or more source files")
     add_robustness_flags(p)
+    add_telemetry_flags(p)
     p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--domain", default="octagon",
                    choices=["octagon", "apron", "interval", "zone", "pentagon"])
@@ -357,7 +445,18 @@ def main(argv=None) -> int:
                         "earlier (killed) run of this batch; only "
                         "unfinished jobs re-run")
     add_robustness_flags(p)
+    add_telemetry_flags(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "report",
+        help="render a run report from --log-json / --trace artifacts")
+    p.add_argument("run", metavar="RUN",
+                   help="a --log-json artifact (JSONL event log)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="trace file for the per-phase table (default: the "
+                        "path recorded in the run's summary event)")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("precondition",
                        help="necessary precondition of reaching the exit")
@@ -383,6 +482,20 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_demo)
 
     args = parser.parse_args(argv)
+    # Subcommands with telemetry flags run under a RunContext: it sets
+    # the stderr verbosity, arms the requested artifacts, and writes
+    # them (trace JSON, event log's run_summary, Prometheus file) on
+    # the way out.  `report` has --trace too but is a pure reader, so
+    # the presence of --log-json is the marker.
+    if hasattr(args, "log_json"):
+        from .obs.report import RunContext
+
+        ctx = RunContext(args.command, trace_path=args.trace,
+                         log_path=args.log_json, metrics_path=args.metrics,
+                         verbose=args.verbose, quiet=args.quiet)
+        args.run_context = ctx
+        with ctx:
+            return args.func(args)
     return args.func(args)
 
 

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core import stats
 from ..core.budget import Budget
+from ..obs import metrics, trace
 from ..domains.domain import DomainFactory, get_domain
 from ..errors import AnalysisInterrupted
 from ..frontend.ast_nodes import Assert, Procedure, Program
@@ -39,6 +40,9 @@ LADDER = {
     "pentagon": ("pentagon", "interval"),
     "interval": ("interval",),
 }
+
+metrics.REGISTRY.counter("degradations",
+                         "Procedures retried at a lower precision rung")
 
 
 @dataclass
@@ -150,7 +154,8 @@ class Analyzer:
         operator timings and closure events for the benchmarks.
         """
         if isinstance(source_or_program, str):
-            program = parse_program(source_or_program)
+            with trace.span("parse"):
+                program = parse_program(source_or_program)
         elif isinstance(source_or_program, Procedure):
             program = Program([source_or_program])
         else:
@@ -177,16 +182,18 @@ class Analyzer:
             last_exc: Optional[AnalysisInterrupted] = None
             for i, rung in enumerate(rungs):
                 factory = get_domain(rung) if isinstance(rung, str) else rung
-                try:
-                    fix = engine.analyze(cfg, factory,
-                                         budget=self._fresh_budget())
-                except AnalysisInterrupted as exc:
-                    stats.bump("budget_interrupts")
-                    if not self.degrade:
-                        raise
-                    stats.bump("degradations")
-                    last_exc = exc
-                    continue
+                with trace.span("rung", domain=rung_name(rung)) as sp:
+                    try:
+                        fix = engine.analyze(cfg, factory,
+                                             budget=self._fresh_budget())
+                    except AnalysisInterrupted as exc:
+                        stats.bump("budget_interrupts")
+                        sp.set(interrupted=True)
+                        if not self.degrade:
+                            raise
+                        stats.bump("degradations")
+                        last_exc = exc
+                        continue
                 return fix, rung_name(rung), i > 0, False
             # Every rung exhausted its budget: fall back to the trivial
             # sound answer -- top at every node.  The checks become
@@ -202,10 +209,12 @@ class Analyzer:
 
         def run() -> None:
             for proc in program.procedures:
-                cfg = build_cfg(proc)
-                fix, used, degraded, exhausted = solve(cfg)
-                checks = [self._discharge(proc.name, cfg, fix, node, chk)
-                          for node, chk in cfg.checks]
+                with trace.span("procedure", name=proc.name) as sp:
+                    cfg = build_cfg(proc)
+                    fix, used, degraded, exhausted = solve(cfg)
+                    sp.set(domain=used, degraded=degraded)
+                    checks = [self._discharge(proc.name, cfg, fix, node, chk)
+                              for node, chk in cfg.checks]
                 results.append(ProcedureResult(
                     proc.name, cfg, fix, checks, domain_used=used,
                     degraded=degraded, exhausted=exhausted))

@@ -30,10 +30,12 @@ comparisons run identical analysis logic over both implementations.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.budget import Budget, governed
+from ..obs import trace
 from ..errors import AnalysisInterrupted, BudgetExceeded
 from ..frontend.cfg import CFG, LoopInfo
 from .plan import CompiledCFG, compile_cfg
@@ -84,14 +86,24 @@ class FixpointEngine:
             sorted({float(t) for t in self.widening_thresholds}
                    | {2.0 * float(t) for t in self.widening_thresholds})
             if self.widening_thresholds else None)
-        plans = (compile_cfg(cfg, integer_mode=self.integer_mode)
-                 if self.compile_transfer else None)
+        if self.compile_transfer:
+            with trace.span("compile"):
+                plans = compile_cfg(cfg, integer_mode=self.integer_mode)
+        else:
+            plans = None
         with governed(budget):
-            if cfg.loop_tree is not None:
-                return self._analyze_structured(cfg, factory, entry_state,
-                                                plans, budget)
-            return self._analyze_worklist(cfg, factory, entry_state,
-                                          plans, budget)
+            with trace.span("fixpoint", nodes=cfg.n_nodes) as sp:
+                if cfg.loop_tree is not None:
+                    result = self._analyze_structured(cfg, factory,
+                                                      entry_state, plans,
+                                                      budget)
+                else:
+                    result = self._analyze_worklist(cfg, factory,
+                                                    entry_state, plans,
+                                                    budget)
+                sp.set(iterations=result.iterations,
+                       widenings=result.widenings)
+            return result
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -149,6 +161,19 @@ class FixpointEngine:
                     acc = acc.join(out)
                 return acc
 
+        # Per-node transfer spans cost a dict build per recomputation,
+        # so the instrumented variant is only installed when tracing is
+        # on -- the disabled path keeps the bare closures above.
+        if trace.enabled():
+            plain_recompute = recompute
+
+            def recompute(node):
+                t0 = time.perf_counter()
+                acc = plain_recompute(node)
+                trace.emit("recompute", t0, time.perf_counter(),
+                           args={"node": node})
+                return acc
+
         def propagate_region(nodes_in_order, subloops_by_head):
             handled = set()
             for node in nodes_in_order:
@@ -193,6 +218,14 @@ class FixpointEngine:
                     propagate_region(body_nodes, subs)
                 else:
                     break
+
+        if trace.enabled():
+            plain_solve_loop = solve_loop
+
+            def solve_loop(loop: LoopInfo) -> None:
+                with trace.span("loop", head=loop.head,
+                                nodes=len(loop.nodes)):
+                    plain_solve_loop(loop)
 
         top_order = sorted((node for node in range(cfg.n_nodes)
                             if node != cfg.entry),
@@ -243,6 +276,17 @@ class FixpointEngine:
             def transfer(state, action):
                 return apply_action(state, action, var_index,
                                     integer_mode=self.integer_mode)
+
+        # As in the structured solver: per-edge transfer spans are only
+        # installed when tracing is on, so the hot loop stays bare.
+        if trace.enabled():
+            plain_transfer = transfer
+
+            def transfer(state, plan):
+                t0 = time.perf_counter()
+                out = plain_transfer(state, plan)
+                trace.emit("transfer", t0, time.perf_counter())
+                return out
 
         worklist: List[tuple] = []
         seen = set()

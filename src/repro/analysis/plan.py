@@ -57,6 +57,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import stats
+from ..obs import metrics
 from ..core.apron_octagon import ApronOctagon
 from ..core.bounds import is_finite
 from ..core.constraints import LinExpr, OctConstraint
@@ -83,6 +84,14 @@ _COUNTS: Dict[str, int] = {
 }
 
 stats.register_counter_source(lambda: dict(_COUNTS))
+
+metrics.REGISTRY.counter("plans_compiled",
+                         "CFG edge actions compiled to transfer plans")
+metrics.REGISTRY.counter("plan_exec", "Compiled transfer-plan executions")
+metrics.REGISTRY.counter("constraints_batched",
+                         "Octagonal constraints applied via one batched meet")
+metrics.REGISTRY.counter("closures_avoided",
+                         "Incremental closures elided by constraint batching")
 
 
 def counters() -> Dict[str, int]:

@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from ..errors import BudgetExceeded
+from ..obs import metrics
 from . import stats
 
 # Checkpoints fire once per fixpoint iteration and once per closure --
@@ -40,6 +41,11 @@ from . import stats
 _CHECKPOINTS = 0
 
 stats.register_counter_source(lambda: {"budget_checkpoints": _CHECKPOINTS})
+
+metrics.REGISTRY.counter("budget_checkpoints",
+                         "Cooperative budget checks performed")
+metrics.REGISTRY.counter("budget_interrupts",
+                         "Analyses interrupted by an exhausted budget")
 
 
 class Budget:

@@ -29,6 +29,7 @@ from typing import Iterator, List
 
 import numpy as np
 
+from ..obs import metrics
 from . import stats
 
 _ENABLED = True
@@ -44,6 +45,14 @@ _MATERIALIZATIONS = 0
 stats.register_counter_source(
     lambda: {"cow_clones": _CLONES,
              "cow_materializations": _MATERIALIZATIONS})
+
+metrics.REGISTRY.counter(
+    "copies_avoided", "Matrix copies the COW layer never performed",
+    derive=lambda m: (m.get("cow_clones", 0)
+                      - m.get("cow_materializations", 0)))
+metrics.REGISTRY.counter("cow_clones", "O(1) copy-on-write clone events")
+metrics.REGISTRY.counter("cow_materializations",
+                         "COW clones that later paid a real copy")
 
 
 def set_enabled(flag: bool) -> bool:

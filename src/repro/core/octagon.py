@@ -46,6 +46,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import metrics, trace
 from . import budget as _budget
 from . import sentinel as _sentinel
 from . import stats
@@ -62,6 +63,10 @@ from .kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
 from .partition import Partition
 from .workspace import get_workspace
 from ..testing import faults as _faults
+
+# Shared with the Zone domain, whose closure cache bumps the same name.
+metrics.REGISTRY.counter("closure_cache_hits",
+                         "Closed forms served from the versioned cache")
 
 
 class Octagon:
@@ -303,6 +308,10 @@ class Octagon:
                 self._refresh_structure_exact()
         elapsed = time.perf_counter() - start
         stats.record_closure(self.n, str(kind), elapsed, components)
+        if trace.enabled():  # skip the args dict on the disabled path
+            trace.emit("closure", start, start + elapsed,
+                       args={"n": self.n, "kind": str(kind),
+                             "components": components})
         if empty:
             self._become_bottom()
         else:
@@ -319,6 +328,9 @@ class Octagon:
         empty = incremental_closure(m, v)
         elapsed = time.perf_counter() - start
         stats.record_closure(self.n, "incremental", elapsed, len(self.partition.blocks))
+        if trace.enabled():  # skip the args dict on the disabled path
+            trace.emit("closure_inc", start, start + elapsed,
+                       args={"n": self.n, "v": v})
         if empty:
             self._become_bottom()
             return

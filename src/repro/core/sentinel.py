@@ -28,6 +28,7 @@ import os
 import numpy as np
 
 from ..errors import IntegrityError
+from ..obs import metrics
 from . import stats
 
 #: Slack for the closed-claim certification: the decomposed/sparse/
@@ -38,6 +39,11 @@ _CLOSURE_TOL = 1e-6
 _CHECKS = 0
 
 stats.register_counter_source(lambda: {"paranoid_checks": _CHECKS})
+
+metrics.REGISTRY.counter("paranoid_checks",
+                         "DBM integrity audits run by the sentinel")
+metrics.REGISTRY.counter("integrity_failures",
+                         "Structural invariant breaches detected")
 
 _ENABLED = os.environ.get("REPRO_PARANOID", "") not in ("", "0")
 

@@ -134,8 +134,12 @@ def analysis_report(result) -> Dict:
 #: v2 added ``compile_transfer`` (whether the analysis ran compiled
 #: transfer plans or the interpreted ablation path).  v3 added the
 #: ``degraded`` outcome with its per-procedure ``rungs`` map and the
-#: ``resumed`` journal flag.
-JOB_RESULT_SCHEMA = 3
+#: ``resumed`` journal flag.  v4 added the per-operator timing
+#: decomposition (``op_seconds``/``op_self_seconds``/``op_calls``) and
+#: histogram snapshots, so ``--json`` documents carry the Fig 8 time
+#: split for every execution mode (``trace_events`` is deliberately
+#: *not* serialised: spans ship over the worker pipe only).
+JOB_RESULT_SCHEMA = 4
 
 
 def job_result_to_dict(result) -> Dict:
@@ -166,6 +170,13 @@ def job_result_to_dict(result) -> Dict:
             "box": [[lo, hi] for lo, hi in p.box],
         } for p in result.procedures],
         "counters": {str(k): int(v) for k, v in result.counters.items()},
+        "op_seconds": {str(k): float(v)
+                       for k, v in result.op_seconds.items()},
+        "op_self_seconds": {str(k): float(v)
+                            for k, v in result.op_self_seconds.items()},
+        "op_calls": {str(k): int(v) for k, v in result.op_calls.items()},
+        "histograms": {str(k): dict(v)
+                       for k, v in result.histograms.items()},
         "rungs": {str(k): str(v) for k, v in result.rungs.items()},
         "resumed": result.resumed,
     }
@@ -199,6 +210,13 @@ def job_result_from_dict(raw: Dict):
         checks=checks,
         procedures=procedures,
         counters={str(k): int(v) for k, v in raw["counters"].items()},
+        op_seconds={str(k): float(v)
+                    for k, v in raw.get("op_seconds", {}).items()},
+        op_self_seconds={str(k): float(v)
+                         for k, v in raw.get("op_self_seconds", {}).items()},
+        op_calls={str(k): int(v) for k, v in raw.get("op_calls", {}).items()},
+        histograms={str(k): dict(v)
+                    for k, v in raw.get("histograms", {}).items()},
         rungs={str(k): str(v) for k, v in raw.get("rungs", {}).items()},
         cached=bool(raw.get("cached", False)),
         resumed=bool(raw.get("resumed", False)),

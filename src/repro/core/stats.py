@@ -1,272 +1,51 @@
-"""Instrumentation: operation counters, timers and closure traces.
+"""Compatibility shim over :mod:`repro.obs` -- the telemetry subsystem.
 
-Three consumers drive the design:
+This module used to hold all instrumentation (operator timers, closure
+records, counters with a hand-maintained ``counter_summary()`` key
+list).  That machinery now lives in :mod:`repro.obs.collect` (scoped
+collection, with correct self-time attribution for nested operator
+timers) and :mod:`repro.obs.metrics` (the registry subsystems declare
+their counters in, plus the Prometheus/JSONL exporters); spans and
+trace export live in :mod:`repro.obs.trace`.
 
-* **Op-count verification** (paper section 5): the scalar closure
-  variants count their ``min``/add operations so tests can check the
-  paper's polynomial formulas (``16n^3 + 22n^2 + 6n`` for APRON's
-  closure, ``8n^3 + 10n^2 + 2n`` for the new dense closure) exactly.
-* **Table 2 / Fig 7**: every closure performed during an analysis is
-  recorded (variable count, DBM kind used, wall time) so the benchmark
-  harness can regenerate the per-benchmark closure statistics and the
-  per-closure runtime trace.
-* **Fig 8 / Table 3**: aggregate time spent inside octagon operations,
-  per operator, so end-to-end speedups can be decomposed.
-* **Hot-path memory counters**: the copy-on-write layer
-  (:mod:`repro.core.cow`), the kernel workspace registry
-  (:mod:`repro.core.workspace`) and the versioned closure cache report
-  how much memory traffic they avoided (``cow_clones``,
-  ``cow_materializations``, ``workspace_hits`` and
-  ``closure_cache_hits``) via :func:`bump`; the benchmark harness
-  persists them so trajectories capture allocation behaviour, not just
-  wall time.  The batch service's persistent result cache
-  (:mod:`repro.service.cache`) reports ``result_cache_hits`` /
-  ``result_cache_misses`` / ``result_cache_evictions`` the same way.
+Every public name is re-exported so existing imports keep working:
 
-A single module-level :class:`StatsCollector` is active at a time; the
-:func:`collecting` context manager installs a fresh one.  When no
-collector is active all recording is a no-op with negligible overhead.
+>>> from repro.core import stats
+>>> with stats.collecting() as collector:
+...     with stats.timed_op("assign"):
+...         pass
+>>> collector.counter_summary()  # enumerated from the registry
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from repro.obs.collect import (  # noqa: F401
+    ClosureRecord,
+    OpCounter,
+    StatsCollector,
+    active_collector,
+    bump,
+    capturing_closure_inputs,
+    collecting,
+    record_closure,
+    record_closure_input,
+    timed_op,
+)
+from repro.obs.metrics import (  # noqa: F401
+    global_counters as _global_counters,
+    register_counter_source,
+)
 
-# Modules whose hot paths are too frequent for per-event ``bump`` calls
-# (COW clones, workspace lookups) keep plain module-global counters and
-# register a reader here; a collector snapshots the totals when it is
-# installed and reports the delta.
-_COUNTER_SOURCES: List[Callable[[], Dict[str, int]]] = []
-
-
-def register_counter_source(reader: Callable[[], Dict[str, int]]) -> None:
-    """Register a callable returning cumulative global counter values."""
-    _COUNTER_SOURCES.append(reader)
-
-
-def _global_counters() -> Dict[str, int]:
-    out: Dict[str, int] = {}
-    for reader in _COUNTER_SOURCES:
-        out.update(reader())
-    return out
-
-
-@dataclass
-class ClosureRecord:
-    """One closure call observed during an analysis."""
-
-    n: int  # number of variables in the DBM
-    kind: str  # DBM kind the closure ran on: dense/sparse/decomposed/top
-    seconds: float
-    components: int = 1  # component count for decomposed closures
-
-
-@dataclass
-class StatsCollector:
-    """Accumulates operator timings and closure records.
-
-    With ``capture_closure_inputs`` set, every *full* closure performed
-    by the optimised octagon also stores a copy of its input DBM and
-    component partition, so the Fig. 7 benchmark can replay the exact
-    same closure workload through every closure implementation.
-    """
-
-    op_seconds: Dict[str, float] = field(default_factory=dict)
-    op_calls: Dict[str, int] = field(default_factory=dict)
-    closures: List[ClosureRecord] = field(default_factory=list)
-    capture_closure_inputs: bool = False
-    closure_inputs: List[tuple] = field(default_factory=list)
-    counters: Dict[str, int] = field(default_factory=dict)
-    counter_base: Dict[str, int] = field(default_factory=_global_counters)
-
-    def record_op(self, name: str, seconds: float) -> None:
-        self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
-        self.op_calls[name] = self.op_calls.get(name, 0) + 1
-
-    def bump(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
-
-    def record_closure(self, record: ClosureRecord) -> None:
-        self.closures.append(record)
-
-    def record_closure_input(self, matrix, blocks) -> None:
-        if self.capture_closure_inputs:
-            self.closure_inputs.append((matrix, blocks))
-
-    # ------------------------------------------------------------------
-    # summaries used by the benchmark harness
-    # ------------------------------------------------------------------
-    @property
-    def total_seconds(self) -> float:
-        return sum(self.op_seconds.values())
-
-    @property
-    def full_closures(self) -> List[ClosureRecord]:
-        """Full (cubic) closures; incremental re-closures excluded."""
-        return [rec for rec in self.closures if "incremental" not in rec.kind]
-
-    @property
-    def closure_seconds(self) -> float:
-        """Time spent in *full* closures.
-
-        Incremental closures run inside the ``assign``/``meet_constraint``
-        operator timers and are already included in ``total_seconds``;
-        full closures run outside any operator timer, so total octagon
-        time is ``total_seconds + closure_seconds``.
-        """
-        return sum(rec.seconds for rec in self.full_closures)
-
-    def closure_stats(self) -> Dict[str, float]:
-        """The Table 2 statistics: nmin, nmax and #closures."""
-        full = self.full_closures
-        if not full:
-            return {"nmin": 0, "nmax": 0, "closures": 0,
-                    "incremental": len(self.closures)}
-        sizes = [rec.n for rec in full]
-        return {
-            "nmin": min(sizes),
-            "nmax": max(sizes),
-            "closures": len(full),
-            "incremental": len(self.closures) - len(full),
-        }
-
-    # ------------------------------------------------------------------
-    # hot-path memory counters
-    # ------------------------------------------------------------------
-    def merged_counters(self) -> Dict[str, int]:
-        """Per-event ``bump`` counters plus the global-source deltas
-        accumulated since this collector was installed."""
-        merged = dict(self.counters)
-        for name, value in _global_counters().items():
-            delta = value - self.counter_base.get(name, 0)
-            if delta:
-                merged[name] = merged.get(name, 0) + delta
-        return merged
-
-    @property
-    def copies_avoided(self) -> int:
-        """Matrix copies the COW layer never had to perform.
-
-        Eager semantics pay one copy per ``copy()`` call; COW pays one
-        copy per materialisation, so the difference is the saving.  At
-        most one materialisation exists per clone (the last owner of a
-        share group writes in place), so this is never negative.
-        """
-        merged = self.merged_counters()
-        return (merged.get("cow_clones", 0)
-                - merged.get("cow_materializations", 0))
-
-    def counter_summary(self) -> Dict[str, int]:
-        """The memory-layer counters persisted by the benchmark harness."""
-        merged = self.merged_counters()
-        return {
-            "copies_avoided": (merged.get("cow_clones", 0)
-                               - merged.get("cow_materializations", 0)),
-            "cow_clones": merged.get("cow_clones", 0),
-            "cow_materializations": merged.get("cow_materializations", 0),
-            "workspace_hits": merged.get("workspace_hits", 0),
-            "workspace_misses": merged.get("workspace_misses", 0),
-            "closure_cache_hits": merged.get("closure_cache_hits", 0),
-            # Batch-service persistent result cache (repro.service.cache).
-            "result_cache_hits": merged.get("result_cache_hits", 0),
-            "result_cache_misses": merged.get("result_cache_misses", 0),
-            "result_cache_evictions": merged.get("result_cache_evictions", 0),
-            "result_cache_write_errors": merged.get(
-                "result_cache_write_errors", 0),
-            # Compiled transfer plans (repro.analysis.plan).
-            "plans_compiled": merged.get("plans_compiled", 0),
-            "plan_exec": merged.get("plan_exec", 0),
-            "constraints_batched": merged.get("constraints_batched", 0),
-            "closures_avoided": merged.get("closures_avoided", 0),
-            # Resource governance (repro.core.budget, analyzer ladder).
-            "budget_checkpoints": merged.get("budget_checkpoints", 0),
-            "budget_interrupts": merged.get("budget_interrupts", 0),
-            "degradations": merged.get("degradations", 0),
-            # Robustness instrumentation (sentinel, faults, journal).
-            "paranoid_checks": merged.get("paranoid_checks", 0),
-            "integrity_failures": merged.get("integrity_failures", 0),
-            "faults_injected": merged.get("faults_injected", 0),
-            "journal_records": merged.get("journal_records", 0),
-            "journal_torn_lines": merged.get("journal_torn_lines", 0),
-        }
-
-
-_ACTIVE: Optional[StatsCollector] = None
-
-
-def active_collector() -> Optional[StatsCollector]:
-    """The collector currently receiving events, or None."""
-    return _ACTIVE
-
-
-@contextmanager
-def collecting() -> Iterator[StatsCollector]:
-    """Install a fresh collector for the duration of the block."""
-    global _ACTIVE
-    previous = _ACTIVE
-    collector = StatsCollector()
-    _ACTIVE = collector
-    try:
-        yield collector
-    finally:
-        _ACTIVE = previous
-
-
-@contextmanager
-def timed_op(name: str) -> Iterator[None]:
-    """Attribute the wall time of the block to operator ``name``."""
-    collector = _ACTIVE
-    if collector is None:
-        yield
-        return
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        collector.record_op(name, time.perf_counter() - start)
-
-
-def record_closure(n: int, kind: str, seconds: float, components: int = 1) -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.record_closure(ClosureRecord(n, kind, seconds, components))
-
-
-def record_closure_input(matrix, blocks) -> None:
-    """Capture a full-closure input (matrix copy + partition blocks)."""
-    if _ACTIVE is not None and _ACTIVE.capture_closure_inputs:
-        _ACTIVE.record_closure_input(matrix, blocks)
-
-
-def capturing_closure_inputs() -> bool:
-    """True iff a collector wants full-closure inputs (callers can then
-    skip the defensive matrix copy on the no-collector hot path)."""
-    return _ACTIVE is not None and _ACTIVE.capture_closure_inputs
-
-
-def bump(name: str, amount: int = 1) -> None:
-    """Increment a named counter on the active collector (no-op otherwise)."""
-    if _ACTIVE is not None:
-        _ACTIVE.bump(name, amount)
-
-
-class OpCounter:
-    """Counts scalar DBM operations for complexity verification.
-
-    One ``count`` unit is one *candidate tightening*: evaluating
-    ``min(O_ij, O_ik + O_kj)`` (one add + one compare), the unit the
-    paper uses when stating ``16n^3 + 22n^2 + 6n``.
-    """
-
-    __slots__ = ("mins",)
-
-    def __init__(self) -> None:
-        self.mins = 0
-
-    def tick(self, amount: int = 1) -> None:
-        self.mins += amount
-
-    def reset(self) -> None:
-        self.mins = 0
+__all__ = [
+    "ClosureRecord",
+    "OpCounter",
+    "StatsCollector",
+    "active_collector",
+    "bump",
+    "capturing_closure_inputs",
+    "collecting",
+    "record_closure",
+    "record_closure_input",
+    "register_counter_source",
+    "timed_op",
+]

@@ -33,6 +33,7 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
+from ..obs import metrics
 from . import stats
 from .indexing import cap, half_size, matpos2
 
@@ -46,6 +47,11 @@ _MISSES = 0
 
 stats.register_counter_source(
     lambda: {"workspace_hits": _HITS, "workspace_misses": _MISSES})
+
+metrics.REGISTRY.counter("workspace_hits",
+                         "Kernel scratch buffers reused from the registry")
+metrics.REGISTRY.counter("workspace_misses",
+                         "Kernel scratch buffers freshly allocated")
 
 
 def set_enabled(flag: bool) -> bool:

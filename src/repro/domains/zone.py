@@ -32,6 +32,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core import stats
+from ..obs import trace
 from ..core.bounds import INF, is_finite
 from ..core.constraints import LinExpr, OctConstraint
 from ..core.cow import CowMat, is_enabled as _cow_enabled
@@ -207,8 +208,13 @@ class Zone:
             empty = _close_decomposed(out._write_mat(), self.partition)
         else:
             empty = _close(out._write_mat())
-        stats.record_closure(self.n, "zone", time.perf_counter() - start,
+        elapsed = time.perf_counter() - start
+        stats.record_closure(self.n, "zone", elapsed,
                              len(self.partition.blocks))
+        if trace.enabled():  # skip the args dict on the disabled path
+            trace.emit("closure", start, start + elapsed,
+                       args={"n": self.n, "kind": "zone",
+                             "components": len(self.partition.blocks)})
         if empty:
             self._become_bottom()
             return self

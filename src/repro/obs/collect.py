@@ -1,0 +1,333 @@
+"""Scoped measurement collection: operator timers, closures, counters.
+
+This is the engine behind ``repro.core.stats`` (now a compatibility
+shim).  A :class:`StatsCollector` scopes every measurement to one
+analysis/job; :func:`collecting` installs one for a block.  Three fixes
+over the original ``core/stats.py`` implementation:
+
+* **Self-time attribution.**  ``timed_op`` used to double-count nested
+  operators: an outer ``assign`` timer included the inner
+  ``meet_constraint`` time, so summing ``op_seconds`` over-reported
+  total octagon time (the Fig. 8 decomposition no longer added up).
+  The collector now keeps a timer stack; each frame accumulates its
+  children's elapsed time, and ``op_self_seconds`` records elapsed
+  minus children.  ``op_seconds`` stays *inclusive* (useful per
+  operator); ``total_seconds`` sums the *self* times, which is
+  non-overlapping by construction.
+* **Nested collectors.**  Collectors nest (a batch-level collector
+  around per-job collectors).  ``bump()`` events now propagate to
+  every collector on the stack, so an inner collector no longer steals
+  the outer one's per-event counters; global-source deltas were always
+  safe (each collector snapshots its own base) and are pinned by tests
+  now.
+* **Histograms.**  When metrics collection is enabled for the run
+  (:func:`repro.obs.metrics.set_enabled`), the collector also feeds
+  closure-size, closure-latency and per-operator-latency histograms
+  declared in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from . import metrics
+
+# Histogram declarations for the distributions this module observes.
+metrics.REGISTRY.histogram(
+    "closure_size", "Variables per full closure call",
+    buckets=metrics.SIZE_BUCKETS, label="kind")
+metrics.REGISTRY.histogram(
+    "closure_seconds", "Wall seconds per closure call",
+    buckets=metrics.LATENCY_BUCKETS, label="kind")
+metrics.REGISTRY.histogram(
+    "op_seconds", "Wall seconds per domain operator call",
+    buckets=metrics.LATENCY_BUCKETS, label="op")
+
+
+@dataclass
+class ClosureRecord:
+    """One closure call observed during an analysis."""
+
+    n: int  # number of variables in the DBM
+    kind: str  # DBM kind the closure ran on: dense/sparse/decomposed/top
+    seconds: float
+    components: int = 1  # component count for decomposed closures
+
+
+@dataclass
+class StatsCollector:
+    """Accumulates operator timings, closure records and counters.
+
+    With ``capture_closure_inputs`` set, every *full* closure performed
+    by the optimised octagon also stores a copy of its input DBM and
+    component partition, so the Fig. 7 benchmark can replay the exact
+    same closure workload through every closure implementation.
+    """
+
+    #: Inclusive wall time per operator (a nested operator's time is
+    #: counted in its parent too -- do not sum this across operators).
+    op_seconds: Dict[str, float] = field(default_factory=dict)
+    op_calls: Dict[str, int] = field(default_factory=dict)
+    #: Exclusive (self) wall time per operator; sums without overlap.
+    op_self_seconds: Dict[str, float] = field(default_factory=dict)
+    closures: List[ClosureRecord] = field(default_factory=list)
+    capture_closure_inputs: bool = False
+    closure_inputs: List[tuple] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    counter_base: Dict[str, int] = field(
+        default_factory=metrics.global_counters)
+    #: Distribution collection (off unless metrics export is on).
+    histograms_enabled: bool = field(default_factory=metrics.enabled)
+    histograms: Dict[str, metrics.HistogramData] = field(default_factory=dict)
+    #: Active ``timed_op`` frames: each entry accumulates child seconds.
+    _op_stack: List[list] = field(default_factory=list, repr=False,
+                                  compare=False)
+    #: Set on ``collecting()`` exit: global-source deltas are folded in
+    #: and the collector stops watching the process-wide counters.
+    _counters_frozen: bool = field(default=False, repr=False, compare=False)
+
+    def record_op(self, name: str, seconds: float,
+                  self_seconds: Optional[float] = None) -> None:
+        if self_seconds is None:
+            self_seconds = seconds
+        self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
+        self.op_calls[name] = self.op_calls.get(name, 0) + 1
+        self.op_self_seconds[name] = (
+            self.op_self_seconds.get(name, 0.0) + self_seconds)
+        if self.histograms_enabled:
+            self.observe("op_seconds", seconds, name)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_closure(self, record: ClosureRecord) -> None:
+        self.closures.append(record)
+        if self.histograms_enabled:
+            self.observe("closure_size", record.n, record.kind)
+            self.observe("closure_seconds", record.seconds, record.kind)
+
+    def record_closure_input(self, matrix, blocks) -> None:
+        if self.capture_closure_inputs:
+            self.closure_inputs.append((matrix, blocks))
+
+    def observe(self, name: str, value: float,
+                label_value: Optional[str] = None) -> None:
+        """Feed one observation into a registry-declared histogram."""
+        key = metrics.histogram_key(name, label_value)
+        data = self.histograms.get(key)
+        if data is None:
+            spec = metrics.REGISTRY.get(name)
+            bounds = spec.buckets if spec is not None else metrics.LATENCY_BUCKETS
+            data = metrics.HistogramData(name, bounds, label_value)
+            self.histograms[key] = data
+        data.observe(value)
+
+    def histograms_export(self) -> Dict[str, Dict]:
+        """JSON-clean snapshot of every histogram series."""
+        return {key: data.to_dict() for key, data in self.histograms.items()}
+
+    # ------------------------------------------------------------------
+    # summaries used by the benchmark harness
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Total operator wall time, nested calls counted once."""
+        return sum(self.op_self_seconds.values())
+
+    @property
+    def full_closures(self) -> List[ClosureRecord]:
+        """Full (cubic) closures; incremental re-closures excluded."""
+        return [rec for rec in self.closures if "incremental" not in rec.kind]
+
+    @property
+    def closure_seconds(self) -> float:
+        """Time spent in *full* closures.
+
+        Incremental closures run inside the ``assign``/``meet_constraint``
+        operator timers and are already included in ``total_seconds``;
+        full closures run outside any operator timer, so total octagon
+        time is ``total_seconds + closure_seconds``.
+        """
+        return sum(rec.seconds for rec in self.full_closures)
+
+    def closure_stats(self) -> Dict[str, float]:
+        """The Table 2 statistics: nmin, nmax and #closures."""
+        full = self.full_closures
+        if not full:
+            return {"nmin": 0, "nmax": 0, "closures": 0,
+                    "incremental": len(self.closures)}
+        sizes = [rec.n for rec in full]
+        return {
+            "nmin": min(sizes),
+            "nmax": max(sizes),
+            "closures": len(full),
+            "incremental": len(self.closures) - len(full),
+        }
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def merged_counters(self) -> Dict[str, int]:
+        """Per-event ``bump`` counters plus the global-source deltas
+        accumulated since this collector was installed (or last
+        frozen)."""
+        merged = dict(self.counters)
+        if not self._counters_frozen:
+            for name, value in metrics.global_counters().items():
+                delta = value - self.counter_base.get(name, 0)
+                if delta:
+                    merged[name] = merged.get(name, 0) + delta
+        return merged
+
+    def freeze_counters(self) -> None:
+        """Fold the global-source deltas seen so far into ``counters``
+        and stop watching the process-wide counters.  ``collecting()``
+        calls this on exit so a collector read *after* its block
+        reports what happened inside the block, not whatever the
+        process did afterwards."""
+        for name, value in metrics.global_counters().items():
+            delta = value - self.counter_base.get(name, 0)
+            if delta:
+                self.counters[name] = self.counters.get(name, 0) + delta
+        self._counters_frozen = True
+
+    @property
+    def copies_avoided(self) -> int:
+        """Matrix copies the COW layer never had to perform.
+
+        Eager semantics pay one copy per ``copy()`` call; COW pays one
+        copy per materialisation, so the difference is the saving.  At
+        most one materialisation exists per clone (the last owner of a
+        share group writes in place), so this is never negative.
+        """
+        merged = self.merged_counters()
+        return (merged.get("cow_clones", 0)
+                - merged.get("cow_materializations", 0))
+
+    def counter_summary(self) -> Dict[str, int]:
+        """Every counter declared in the metrics registry (derived ones
+        computed), in registration order -- no hand-maintained list."""
+        return metrics.REGISTRY.counter_summary(self.merged_counters())
+
+
+# The collector stack: ``_ACTIVE`` is the innermost (kept as its own
+# variable so the no-collector hot path stays one load + test).
+_ACTIVE: Optional[StatsCollector] = None
+_STACK: List[StatsCollector] = []
+
+
+def active_collector() -> Optional[StatsCollector]:
+    """The collector currently receiving events, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def collecting() -> Iterator[StatsCollector]:
+    """Install a fresh collector for the duration of the block.
+
+    Collectors nest: timings and closure records go to the innermost
+    collector only, while ``bump`` counters propagate to every
+    collector on the stack and global-source deltas are computed per
+    collector from its own installation snapshot -- so an outer
+    collector observes everything that happened inside inner blocks.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    collector = StatsCollector()
+    _STACK.append(collector)
+    _ACTIVE = collector
+    try:
+        yield collector
+    finally:
+        _STACK.pop()
+        _ACTIVE = previous
+        collector.freeze_counters()
+
+
+@contextmanager
+def timed_op(name: str) -> Iterator[None]:
+    """Attribute the wall time of the block to operator ``name``.
+
+    Nested timers are attributed correctly: the inclusive time lands in
+    ``op_seconds`` while ``op_self_seconds`` gets elapsed minus the
+    children's elapsed, so decomposition sums are exact.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        yield
+        return
+    frame = [0.0]  # children's elapsed seconds accumulate here
+    stack = collector._op_stack
+    stack.append(frame)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        stack.pop()
+        if stack:
+            stack[-1][0] += elapsed
+        collector.record_op(name, elapsed, elapsed - frame[0])
+
+
+def record_closure(n: int, kind: str, seconds: float, components: int = 1) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.record_closure(ClosureRecord(n, kind, seconds, components))
+
+
+def record_closure_input(matrix, blocks) -> None:
+    """Capture a full-closure input (matrix copy + partition blocks)."""
+    if _ACTIVE is not None and _ACTIVE.capture_closure_inputs:
+        _ACTIVE.record_closure_input(matrix, blocks)
+
+
+def capturing_closure_inputs() -> bool:
+    """True iff a collector wants full-closure inputs (callers can then
+    skip the defensive matrix copy on the no-collector hot path)."""
+    return _ACTIVE is not None and _ACTIVE.capture_closure_inputs
+
+
+def bump(name: str, amount: int = 1) -> None:
+    """Increment a named counter on every active collector (no-op
+    otherwise) -- inner collectors must not steal the outer's events."""
+    if _ACTIVE is None:
+        return
+    for collector in _STACK:
+        collector.bump(name, amount)
+
+
+class OpCounter:
+    """Counts scalar DBM operations for complexity verification.
+
+    One ``count`` unit is one *candidate tightening*: evaluating
+    ``min(O_ij, O_ik + O_kj)`` (one add + one compare), the unit the
+    paper uses when stating ``16n^3 + 22n^2 + 6n``.
+    """
+
+    __slots__ = ("mins",)
+
+    def __init__(self) -> None:
+        self.mins = 0
+
+    def tick(self, amount: int = 1) -> None:
+        self.mins += amount
+
+    def reset(self) -> None:
+        self.mins = 0
+
+
+__all__ = [
+    "ClosureRecord",
+    "OpCounter",
+    "StatsCollector",
+    "active_collector",
+    "bump",
+    "capturing_closure_inputs",
+    "collecting",
+    "record_closure",
+    "record_closure_input",
+    "timed_op",
+]

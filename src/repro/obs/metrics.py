@@ -1,0 +1,391 @@
+"""Unified metrics registry: counters, gauges and histograms.
+
+Before this module existed, the set of counters the system reports was
+a hand-maintained dictionary literal in ``core/stats.py`` that every
+subsystem PR had to edit.  Now each subsystem *declares* its metrics
+where it owns them (``cow.py`` declares ``cow_clones``, the result
+cache declares ``result_cache_hits``, ...) and consumers enumerate the
+registry instead of maintaining a list:
+
+* :class:`MetricsRegistry` holds the declarations -- name, kind, help
+  text, and (for derived counters such as ``copies_avoided =
+  cow_clones - cow_materializations``) a compute function over the
+  merged raw counters.
+* ``register_counter_source`` / :func:`global_counters` absorb the
+  hot-path plumbing that used to live in ``core/stats.py``: modules
+  whose events are too frequent for per-event dispatch keep plain
+  module globals and register a reader; collectors snapshot the totals
+  and report deltas.
+* Exporters render one snapshot (counters + histograms) as Prometheus
+  text exposition format (:func:`prometheus_text`) or JSON lines
+  (:func:`metrics_jsonl`), and :func:`validate_prometheus_text` is a
+  strict-enough parser for CI to assert the exposition is well formed.
+
+Histogram *declarations* live here; histogram *observations* accumulate
+per :class:`~repro.obs.collect.StatsCollector` (scoped like every other
+measurement) as :class:`HistogramData` snapshots, which merge across
+jobs and processes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import importlib
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+# ----------------------------------------------------------------------
+# hot-path counter sources (moved from core/stats.py)
+# ----------------------------------------------------------------------
+_COUNTER_SOURCES: List[Callable[[], Dict[str, int]]] = []
+
+
+def register_counter_source(reader: Callable[[], Dict[str, int]]) -> None:
+    """Register a callable returning cumulative global counter values."""
+    _COUNTER_SOURCES.append(reader)
+
+
+def global_counters() -> Dict[str, int]:
+    """Current cumulative totals from every registered source."""
+    out: Dict[str, int] = {}
+    for reader in _COUNTER_SOURCES:
+        out.update(reader())
+    return out
+
+
+# ----------------------------------------------------------------------
+# metric declarations
+# ----------------------------------------------------------------------
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram bucket boundaries for second-valued observations.
+LATENCY_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+#: Default buckets for DBM-size observations (number of variables).
+SIZE_BUCKETS = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric."""
+
+    name: str
+    kind: str
+    help: str
+    #: Derived counters compute their value from the merged raw
+    #: counters instead of being bumped directly.
+    derive: Optional[Callable[[Dict[str, int]], int]] = None
+    #: Histogram bucket upper bounds (le), +Inf implied.
+    buckets: Sequence[float] = ()
+    #: Histogram label dimension (e.g. ``op`` or ``kind``), if any.
+    label: Optional[str] = None
+
+
+class MetricsRegistry:
+    """Ordered registry of metric declarations.
+
+    Registration is idempotent by name (several modules may declare the
+    shared ``closure_cache_hits``); re-registering with a *different*
+    kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, MetricSpec] = {}
+
+    # -- declaration ---------------------------------------------------
+    def counter(self, name: str, help: str = "",
+                derive: Optional[Callable[[Dict[str, int]], int]] = None,
+                ) -> MetricSpec:
+        return self._register(MetricSpec(name, COUNTER, help, derive=derive))
+
+    def gauge(self, name: str, help: str = "") -> MetricSpec:
+        return self._register(MetricSpec(name, GAUGE, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS,
+                  label: Optional[str] = None) -> MetricSpec:
+        return self._register(MetricSpec(
+            name, HISTOGRAM, help, buckets=tuple(sorted(buckets)),
+            label=label))
+
+    def _register(self, spec: MetricSpec) -> MetricSpec:
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            if existing.kind != spec.kind:
+                raise ValueError(
+                    f"metric {spec.name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as {spec.kind}")
+            return existing
+        self._specs[spec.name] = spec
+        return spec
+
+    # -- enumeration ---------------------------------------------------
+    def get(self, name: str) -> Optional[MetricSpec]:
+        return self._specs.get(name)
+
+    def specs(self, kind: Optional[str] = None) -> List[MetricSpec]:
+        return [s for s in self._specs.values()
+                if kind is None or s.kind == kind]
+
+    def counter_names(self) -> List[str]:
+        return [s.name for s in self.specs(COUNTER)]
+
+    def counter_summary(self, merged: Dict[str, int]) -> Dict[str, int]:
+        """Every declared counter (derived ones computed), zero-filled,
+        plus any merged raw counter that was never declared -- nothing
+        observed is ever hidden by a missing declaration."""
+        ensure_registered()
+        out: Dict[str, int] = {}
+        for spec in self.specs(COUNTER):
+            if spec.derive is not None:
+                out[spec.name] = int(spec.derive(merged))
+            else:
+                out[spec.name] = int(merged.get(spec.name, 0))
+        for name, value in merged.items():
+            if name not in out:
+                out[name] = int(value)
+        return out
+
+
+#: The process-wide default registry.
+REGISTRY = MetricsRegistry()
+
+
+#: Modules that declare metrics at import time.  This is *not* a metric
+#: list -- the declarations (names, kinds, help text) live with their
+#: owners -- it only guarantees those owners are imported before the
+#: registry is enumerated, so the key set does not depend on what the
+#: caller happened to import first.
+_OWNER_MODULES = (
+    "repro.core.cow",
+    "repro.core.workspace",
+    "repro.core.budget",
+    "repro.core.sentinel",
+    "repro.core.octagon",
+    "repro.analysis.plan",
+    "repro.analysis.analyzer",
+    "repro.service.cache",
+    "repro.service.journal",
+    "repro.testing.faults",
+)
+
+_ensured = False
+
+
+def ensure_registered() -> None:
+    """Import every metric-owning module once (idempotent)."""
+    global _ensured
+    if _ensured:
+        return
+    _ensured = True
+    for module in _OWNER_MODULES:
+        importlib.import_module(module)
+
+
+# ----------------------------------------------------------------------
+# histogram data (per-collector, mergeable, JSON-clean)
+# ----------------------------------------------------------------------
+class HistogramData:
+    """Cumulative bucket counts for one (metric, label-value) series."""
+
+    __slots__ = ("name", "label_value", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float],
+                 label_value: Optional[str] = None) -> None:
+        self.name = name
+        self.label_value = label_value
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot = +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def merge(self, other: "HistogramData") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(f"bucket mismatch for {self.name}")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum += other.sum
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "label": self.label_value,
+                "bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "sum": self.sum}
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "HistogramData":
+        data = cls(str(raw["name"]), [float(b) for b in raw["bounds"]],
+                   raw.get("label"))
+        data.counts = [int(c) for c in raw["counts"]]
+        data.total = int(raw["total"])
+        data.sum = float(raw["sum"])
+        return data
+
+
+def histogram_key(name: str, label_value: Optional[str] = None) -> str:
+    """Stable dict key for one histogram series."""
+    return name if label_value is None else f"{name}|{label_value}"
+
+
+def merge_histogram_dicts(snapshots: Sequence[Dict[str, Dict]]) -> Dict[str, HistogramData]:
+    """Merge per-job histogram exports (``key -> to_dict()``) into one."""
+    merged: Dict[str, HistogramData] = {}
+    for snap in snapshots:
+        for key, raw in snap.items():
+            data = HistogramData.from_dict(raw)
+            if key in merged:
+                merged[key].merge(data)
+            else:
+                merged[key] = data
+    return merged
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+_PROM_PREFIX = "repro_"
+
+
+def _prom_float(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(counters: Dict[str, int],
+                    histograms: Optional[Dict[str, HistogramData]] = None,
+                    *, registry: Optional[MetricsRegistry] = None) -> str:
+    """Render one snapshot in Prometheus text exposition format 0.0.4."""
+    registry = registry if registry is not None else REGISTRY
+    lines: List[str] = []
+    for name in sorted(counters):
+        spec = registry.get(name)
+        metric = f"{_PROM_PREFIX}{name}_total"
+        if spec is not None and spec.help:
+            lines.append(f"# HELP {metric} {spec.help}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(counters[name])}")
+    series_by_name: Dict[str, List[HistogramData]] = {}
+    for data in (histograms or {}).values():
+        series_by_name.setdefault(data.name, []).append(data)
+    for name in sorted(series_by_name):
+        spec = registry.get(name)
+        metric = f"{_PROM_PREFIX}{name}"
+        if spec is not None and spec.help:
+            lines.append(f"# HELP {metric} {spec.help}")
+        lines.append(f"# TYPE {metric} histogram")
+        label = spec.label if spec is not None else None
+        for data in sorted(series_by_name[name],
+                           key=lambda d: d.label_value or ""):
+            def tags(le: str) -> str:
+                if label is not None and data.label_value is not None:
+                    return f'{{{label}="{data.label_value}",le="{le}"}}'
+                return f'{{le="{le}"}}'
+
+            cumulative = 0
+            for bound, count in zip(list(data.bounds) + [math.inf],
+                                    data.counts):
+                cumulative += count
+                lines.append(f"{metric}_bucket{tags(_prom_float(bound))} "
+                             f"{cumulative}")
+            base = ""
+            if label is not None and data.label_value is not None:
+                base = f'{{{label}="{data.label_value}"}}'
+            lines.append(f"{metric}_sum{base} {data.sum!r}")
+            lines.append(f"{metric}_count{base} {data.total}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?\s+"
+    r"([+-]?(\d+\.?\d*([eE][+-]?\d+)?|\.\d+|Inf|NaN))\s*$")
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Check every line is a valid comment or sample; returns the number
+    of samples.  Raises ``ValueError`` on the first malformed line."""
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: bad comment {line!r}")
+        if not _SAMPLE_RE.match(line):
+            raise ValueError(f"line {lineno}: bad sample {line!r}")
+        samples += 1
+    if samples == 0:
+        raise ValueError("no samples in exposition")
+    return samples
+
+
+def metrics_jsonl(counters: Dict[str, int],
+                  histograms: Optional[Dict[str, HistogramData]] = None,
+                  *, run_id: Optional[str] = None) -> str:
+    """Render one snapshot as JSON lines: one metric per line."""
+    lines = []
+    for name in sorted(counters):
+        lines.append(json.dumps({"metric": name, "kind": COUNTER,
+                                 "value": int(counters[name]),
+                                 "run": run_id}, sort_keys=True))
+    for key in sorted(histograms or {}):
+        entry = (histograms or {})[key].to_dict()
+        entry.update({"metric": entry.pop("name"), "kind": HISTOGRAM,
+                      "run": run_id})
+        lines.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# enabled flag for histogram collection
+# ----------------------------------------------------------------------
+# Histogram observation costs a bisect per event, so collectors only
+# record distributions when metrics export was requested for the run.
+_ENABLED = False
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable histogram collection; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "HistogramData",
+    "LATENCY_BUCKETS",
+    "MetricSpec",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SIZE_BUCKETS",
+    "enabled",
+    "ensure_registered",
+    "global_counters",
+    "histogram_key",
+    "merge_histogram_dicts",
+    "metrics_jsonl",
+    "prometheus_text",
+    "register_counter_source",
+    "set_enabled",
+    "validate_prometheus_text",
+]

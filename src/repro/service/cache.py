@@ -26,7 +26,6 @@ import json
 import os
 import shutil
 import tempfile
-import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -34,10 +33,20 @@ from .. import __version__
 from ..core import stats
 from ..core.serialize import job_result_from_dict, job_result_to_dict
 from ..errors import CacheCorrupt
+from ..obs import events, metrics
 from ..testing import faults
 from .job import OUTCOME_OK, JobResult
 
 _KEY_SUFFIX = ".json"
+
+metrics.REGISTRY.counter("result_cache_hits",
+                         "Batch jobs served from the persistent cache")
+metrics.REGISTRY.counter("result_cache_misses",
+                         "Persistent-cache lookups that found nothing")
+metrics.REGISTRY.counter("result_cache_evictions",
+                         "Corrupt or stale cache entries removed")
+metrics.REGISTRY.counter("result_cache_write_errors",
+                         "Cache writes that failed (ENOSPC, permissions)")
 
 
 def default_cache_root() -> str:
@@ -89,7 +98,10 @@ class ResultCache:
             self._miss()
             return None
         except (ValueError, KeyError, TypeError, OSError) as exc:
-            self._evict(path, CacheCorrupt(path, f"{type(exc).__name__}: {exc}"))
+            corruption = CacheCorrupt(path, f"{type(exc).__name__}: {exc}")
+            events.warning("result_cache_evicted", path=str(path),
+                           error=str(corruption))
+            self._evict(path, corruption)
             self._miss()
             return None
         self.hits += 1
@@ -127,9 +139,8 @@ class ResultCache:
             self.write_errors += 1
             stats.bump("result_cache_write_errors")
             self.disabled = True
-            warnings.warn(
-                f"result cache disabled for this run: cannot write to "
-                f"{self.dir} ({exc})", RuntimeWarning, stacklevel=2)
+            events.warning("result_cache_disabled", dir=str(self.dir),
+                           error=str(exc))
             return False
         self.stores += 1
         return True

@@ -54,13 +54,20 @@ class AnalysisJob:
     time_budget: Optional[float] = None
     iteration_budget: Optional[int] = None
     cell_budget: Optional[int] = None
+    #: Telemetry requested for this job's execution: any of ``"trace"``
+    #: (record spans and ship them back with the result) and
+    #: ``"metrics"`` (collect histogram distributions).  Observation
+    #: only -- it cannot change the analysis result.
+    telemetry: Tuple[str, ...] = ()
 
     def options(self) -> Dict[str, object]:
         """The analyzer options in normalised (JSON-stable) form.
 
         ``label`` is presentation only and deliberately excluded: the
         same program under the same options is the same job whatever a
-        caller chooses to call it.  ``compile_transfer`` *is* included
+        caller chooses to call it.  ``telemetry`` is excluded for the
+        same reason -- watching an analysis must not change its cache
+        key.  ``compile_transfer`` *is* included
         even though compiled and interpreted runs produce identical
         results: the cache key stays an honest description of how the
         result was computed.  The budgets are included too -- a tightly
@@ -137,6 +144,15 @@ class JobResult:
     checks: List[CheckVerdict] = field(default_factory=list)
     procedures: List[ProcedureSummary] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-operator wall seconds (inclusive), self seconds (exclusive
+    #: of nested operators -- these sum without overlap) and call
+    #: counts, from the job's stats collector.
+    op_seconds: Dict[str, float] = field(default_factory=dict)
+    op_self_seconds: Dict[str, float] = field(default_factory=dict)
+    op_calls: Dict[str, int] = field(default_factory=dict)
+    #: Histogram snapshots (``repro.obs.metrics.HistogramData.to_dict``
+    #: keyed by series), present when the job ran with metrics on.
+    histograms: Dict[str, Dict] = field(default_factory=dict)
     #: Per-procedure domain that actually produced the invariants; a
     #: value below ``domain`` marks a ladder descent, ``"<top>"`` a
     #: full fall-through to synthesized top states.
@@ -145,6 +161,11 @@ class JobResult:
     #: Served from a batch journal during ``--resume`` (like ``cached``,
     #: excluded from equality).
     resumed: bool = field(default=False, compare=False)
+    #: Chrome trace events recorded in the executing process.  Ships
+    #: over the worker pipe (pickle) so the scheduler can re-parent the
+    #: spans onto the job's lane; deliberately *not* part of the JSON
+    #: schema or equality -- telemetry is not part of the result.
+    trace_events: List[dict] = field(default_factory=list, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -188,8 +209,11 @@ def execute_job(job: AnalysisJob) -> JobResult:
     scheduler can apply its retry/error policy.  A fresh stats
     collector scopes the hot-path memory counters to this job.
     """
+    from contextlib import nullcontext
+
     from ..analysis.analyzer import Analyzer
     from ..core import stats
+    from ..obs import trace
     from ..testing import faults
 
     if faults.fire("worker_kill", job.label):
@@ -206,8 +230,19 @@ def execute_job(job: AnalysisJob) -> JobResult:
         iteration_budget=job.iteration_budget,
         cell_budget=job.cell_budget,
     )
-    with stats.collecting() as collector:
-        result = analyzer.analyze(job.source)
+    # Spans are recorded into a fresh session buffer: a forked worker
+    # inherits the parent's buffer, so without the swap a job would ship
+    # every event the parent had recorded before the fork.  The same
+    # path runs inline (workers=1), where the session keeps the job's
+    # events out of the global buffer for the scheduler to re-parent.
+    session = (trace.session()
+               if trace.enabled() or "trace" in job.telemetry
+               else None)
+    with session if session is not None else nullcontext():
+        with stats.collecting() as collector:
+            if "metrics" in job.telemetry:
+                collector.histograms_enabled = True
+            result = analyzer.analyze(job.source)
 
     checks = [CheckVerdict(c.procedure, c.cond_text, c.verified)
               for c in result.checks]
@@ -239,7 +274,12 @@ def execute_job(job: AnalysisJob) -> JobResult:
         checks=checks,
         procedures=procedures,
         counters=counters,
+        op_seconds=dict(collector.op_seconds),
+        op_self_seconds=dict(collector.op_self_seconds),
+        op_calls=dict(collector.op_calls),
+        histograms=collector.histograms_export(),
         rungs=rungs,
+        trace_events=session.events if session is not None else [],
     )
 
 

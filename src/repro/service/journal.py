@@ -34,8 +34,16 @@ from typing import Dict, Optional, Sequence
 
 from ..core import stats
 from ..core.serialize import job_result_from_dict, job_result_to_dict
+from ..obs import metrics
 from .cache import default_cache_root
 from .job import AnalysisJob, JobResult
+
+metrics.REGISTRY.counter("journal_records",
+                         "Finished jobs appended to the batch journal")
+metrics.REGISTRY.counter("journal_torn_lines",
+                         "Undecodable journal lines dropped on load")
+metrics.REGISTRY.counter("journal_rotations",
+                         "Leftover journals rotated aside (.bak)")
 
 
 def batch_id(jobs: Sequence[AnalysisJob]) -> str:

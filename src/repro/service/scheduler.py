@@ -44,6 +44,7 @@ from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import WorkerDied
+from ..obs import events, trace
 from .cache import ResultCache
 from .job import (
     OUTCOME_ERROR,
@@ -104,6 +105,32 @@ class BatchResult:
                 total[name] = total.get(name, 0) + value
         return total
 
+    def op_timings(self) -> Dict[str, Dict]:
+        """Per-operator timing decomposition summed over the jobs that
+        actually executed this run (cached results are prior work)."""
+        seconds: Dict[str, float] = {}
+        self_seconds: Dict[str, float] = {}
+        calls: Dict[str, int] = {}
+        for r in self.results:
+            if r.cached:
+                continue
+            for name, value in r.op_seconds.items():
+                seconds[name] = seconds.get(name, 0.0) + value
+            for name, value in r.op_self_seconds.items():
+                self_seconds[name] = self_seconds.get(name, 0.0) + value
+            for name, value in r.op_calls.items():
+                calls[name] = calls.get(name, 0) + value
+        return {"op_seconds": seconds, "op_self_seconds": self_seconds,
+                "op_calls": calls}
+
+    def merged_histograms(self) -> Dict[str, Dict]:
+        """Histogram snapshots merged across non-cached job results."""
+        from ..obs import metrics
+        merged = metrics.merge_histogram_dicts(
+            [r.histograms for r in self.results
+             if not r.cached and r.histograms])
+        return {key: data.to_dict() for key, data in merged.items()}
+
 
 def default_workers() -> int:
     return os.cpu_count() or 1
@@ -149,6 +176,29 @@ class _Running:
     attempt: int
     deadline: Optional[float]
     started: float = field(default_factory=time.monotonic)
+    #: ``perf_counter`` at launch, for the job's trace span.  On Linux
+    #: ``perf_counter`` is CLOCK_MONOTONIC, one epoch per boot, so this
+    #: is directly comparable with timestamps the forked worker records.
+    perf_started: float = field(default_factory=time.perf_counter)
+
+
+def _trace_job(job: AnalysisJob, result: JobResult,
+               started: float, ended: float) -> None:
+    """Give a finished job its own lane in the parent's trace.
+
+    The job span is emitted from parent-side measurements (it exists
+    even when the worker died or timed out), and any spans the worker
+    shipped back in ``result.trace_events`` are re-parented onto the
+    same lane, where they nest under the job span by time containment.
+    """
+    if not trace.enabled():
+        return
+    lane = trace.new_lane(f"job {job.label or job.key()[:8]}")
+    trace.emit("job", started, ended, tid=lane,
+               args={"label": job.label, "outcome": result.outcome,
+                     "attempts": result.attempts})
+    if result.trace_events:
+        trace.adopt(result.trace_events, lane)
 
 
 def run_batch(
@@ -209,24 +259,30 @@ def run_batch(
             cache_misses += 1
         pending.append(idx)
 
-    try:
-        if workers == 1:
-            _run_inline(jobs, pending, results, retries=retries, cache=cache,
-                        journal=journal, worker=worker)
-        else:
-            _run_pool(jobs, pending, results, workers=workers,
-                      timeout=timeout, retries=retries, cache=cache,
-                      journal=journal, worker=worker)
-    finally:
-        if journal is not None:
-            journal.close()
+    events.info("batch_start", jobs=len(jobs), scheduled=len(pending),
+                workers=workers, cache_hits=cache_hits, resumed=resumed)
+    with trace.span("batch", jobs=len(jobs), workers=workers):
+        try:
+            if workers == 1:
+                _run_inline(jobs, pending, results, retries=retries,
+                            cache=cache, journal=journal, worker=worker)
+            else:
+                _run_pool(jobs, pending, results, workers=workers,
+                          timeout=timeout, retries=retries, cache=cache,
+                          journal=journal, worker=worker)
+        finally:
+            if journal is not None:
+                journal.close()
 
     assert all(r is not None for r in results)
-    return BatchResult(results=list(results),
-                       wall_seconds=time.perf_counter() - start,
-                       workers=workers,
-                       cache_hits=cache_hits, cache_misses=cache_misses,
-                       resumed=resumed)
+    batch = BatchResult(results=list(results),
+                        wall_seconds=time.perf_counter() - start,
+                        workers=workers,
+                        cache_hits=cache_hits, cache_misses=cache_misses,
+                        resumed=resumed)
+    events.info("batch_done", wall_seconds=round(batch.wall_seconds, 6),
+                **batch.outcome_counts())
+    return batch
 
 
 def _store(cache: Optional[ResultCache], journal: Optional[BatchJournal],
@@ -244,6 +300,8 @@ def _run_inline(jobs, pending, results, *, retries, cache, journal,
     for idx in pending:
         job = jobs[idx]
         attempt = 1
+        events.debug("job_start", label=job.label, attempt=attempt)
+        started = time.perf_counter()
         while True:
             try:
                 result = worker(job)
@@ -252,9 +310,15 @@ def _run_inline(jobs, pending, results, *, retries, cache, journal,
             except Exception:
                 if attempt <= retries:
                     attempt += 1
+                    events.warning("job_retry", label=job.label,
+                                   attempt=attempt)
                     continue
                 result = _error_result(job, traceback.format_exc(), attempt)
                 break
+        _trace_job(job, result, started, time.perf_counter())
+        events.info("job_done", label=job.label, outcome=result.outcome,
+                    attempts=result.attempts,
+                    seconds=round(result.seconds, 6))
         results[idx] = result
         _store(cache, journal, job, result)
 
@@ -271,6 +335,7 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_worker_main,
                            args=(send_conn, worker, jobs[idx]), daemon=True)
+        events.debug("job_start", label=jobs[idx].label, attempt=attempt)
         proc.start()
         send_conn.close()
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -280,6 +345,14 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
         entry.proc.join()
         conn.close()
         del running[conn]
+        _trace_job(jobs[entry.idx], result, entry.perf_started,
+                   time.perf_counter())
+        if result.outcome == OUTCOME_TIMEOUT:
+            events.warning("job_timeout", label=jobs[entry.idx].label,
+                           timeout=timeout, attempts=result.attempts)
+        events.info("job_done", label=jobs[entry.idx].label,
+                    outcome=result.outcome, attempts=result.attempts,
+                    seconds=round(result.seconds, 6))
         results[entry.idx] = result
         _store(cache, journal, jobs[entry.idx], result)
 
@@ -288,9 +361,19 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
         conn.close()
         del running[conn]
         if entry.attempt <= retries:
+            events.warning("job_retry", label=jobs[entry.idx].label,
+                           attempt=entry.attempt + 1,
+                           error=message.strip().splitlines()[-1]
+                           if message.strip() else message)
             queue.append((entry.idx, entry.attempt + 1))
         else:
             result = _error_result(jobs[entry.idx], message, entry.attempt)
+            _trace_job(jobs[entry.idx], result, entry.perf_started,
+                       time.perf_counter())
+            events.error("job_failed", label=jobs[entry.idx].label,
+                         attempts=entry.attempt,
+                         error=message.strip().splitlines()[-1]
+                         if message.strip() else message)
             results[entry.idx] = result
             _store(cache, journal, jobs[entry.idx], result)
 

@@ -43,10 +43,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from ..core import stats
+from ..obs import metrics
 
 _FIRED = 0
 
 stats.register_counter_source(lambda: {"faults_injected": _FIRED})
+
+metrics.REGISTRY.counter("faults_injected",
+                         "Armed fault points that fired this process")
 
 #: Armed fault points: name -> optional argument (e.g. a job label).
 _ACTIVE: Dict[str, Optional[str]] = {}

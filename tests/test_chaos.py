@@ -14,10 +14,10 @@ import signal
 import subprocess
 import sys
 import time
-import warnings
 
 import pytest
 
+from repro.obs import events
 from repro.service.cache import ResultCache
 from repro.service.job import AnalysisJob
 from repro.service.scheduler import run_batch
@@ -79,14 +79,16 @@ class TestCacheEnospc:
         jobs = [AnalysisJob(source=OK_SOURCE, label="a"),
                 AnalysisJob(source=OK2_SOURCE, label="b")]
         with faults.injected("cache_enospc"):
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
+            with events.capture() as caught:
                 batch = run_batch(jobs, workers=1, cache=cache)
         # The analysis is unharmed; only persistence is lost.
         assert batch.all_ok
         assert cache.disabled
         assert cache.write_errors == 1  # disabled after the first failure
-        assert any("result cache disabled" in str(w.message) for w in caught)
+        disabled = [e for e in caught if e.name == "result_cache_disabled"]
+        assert len(disabled) == 1
+        assert disabled[0].level == events.WARNING
+        assert "No space left" in disabled[0].fields["error"]
         assert cache.get(jobs[0].key()) is None
 
     def test_reads_keep_working_after_write_failure(self, tmp_path):
@@ -94,8 +96,7 @@ class TestCacheEnospc:
         job = AnalysisJob(source=OK_SOURCE, label="a")
         run_batch([job], workers=1, cache=cache)  # warm normally
         with faults.injected("cache_enospc"):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
+            with events.quiet_stderr():
                 run_batch([job, AnalysisJob(source=OK2_SOURCE, label="b")],
                           workers=1, cache=cache)
         assert cache.disabled

@@ -139,6 +139,125 @@ class TestBatch:
         assert proc.returncode == 2
 
 
+class TestTelemetry:
+    """--trace / --log-json / --metrics flags and the report command."""
+
+    def _env(self, tmp_path):
+        import os
+
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        return env
+
+    def _artifacts(self, tmp_path):
+        return (tmp_path / "run.trace.json", tmp_path / "run.jsonl",
+                tmp_path / "run.prom")
+
+    def test_analyze_writes_artifacts_and_report_renders(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("x = [0, 4]; y = x + 1; assert(y <= 5);")
+        trace_p, log_p, prom_p = self._artifacts(tmp_path)
+        proc = run_cli("analyze", str(src), "--trace", str(trace_p),
+                       "--log-json", str(log_p), "--metrics", str(prom_p))
+        assert proc.returncode == 0, proc.stderr
+        assert "VERIFIED" in proc.stdout  # normal output untouched
+
+        import json
+
+        from repro.obs.metrics import validate_prometheus_text
+        from repro.obs.trace import validate_chrome_trace
+
+        assert validate_chrome_trace(json.loads(trace_p.read_text())) > 0
+        assert validate_prometheus_text(prom_p.read_text()) > 0
+
+        report = run_cli("report", str(log_p))
+        assert report.returncode == 0, report.stderr
+        assert "Per-operator time" in report.stdout
+        assert "Per-phase spans" in report.stdout
+        assert "command:" in report.stdout
+
+    def test_batch_trace_has_job_lanes(self, tmp_path):
+        import json
+
+        src = tmp_path / "p.mini"
+        src.write_text("x = 1; assert(x == 1);")
+        trace_p = tmp_path / "b.trace.json"
+        proc = run_cli("batch", str(src), "--jobs", "2", "--no-cache",
+                       "--no-journal", "--trace", str(trace_p),
+                       env=self._env(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        events = json.loads(trace_p.read_text())["traceEvents"]
+        jobs = [e for e in events
+                if e.get("ph") == "X" and e["name"] == "job"]
+        assert len(jobs) == 1
+        lane = jobs[0]["tid"]
+        assert any(e.get("ph") == "X" and e["name"] == "fixpoint"
+                   and e["tid"] == lane for e in events)
+
+    def test_batch_json_carries_rollups(self, tmp_path):
+        import json
+
+        src = tmp_path / "p.mini"
+        src.write_text("x = [0, 4]; y = x + 1; assert(y <= 5);")
+        out = tmp_path / "report.json"
+        log_p = tmp_path / "run.jsonl"
+        proc = run_cli("batch", str(src), "--jobs", "1", "--no-cache",
+                       "--no-journal", "--json", str(out),
+                       "--log-json", str(log_p), env=self._env(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert report["run"].startswith("batch-")
+        assert report["counters"]["cow_clones"] > 0
+        assert report["op_calls"]["assign"] >= 1
+        assert report["op_seconds"]["assign"] > 0
+        assert report["histograms"]  # metrics armed by --log-json
+        # Per-job results carry the same decomposition.
+        assert report["jobs"][0]["op_calls"]["assign"] >= 1
+
+    def test_report_on_batch_log(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("x = 1; assert(x == 1);")
+        log_p = tmp_path / "run.jsonl"
+        proc = run_cli("batch", str(src), "--jobs", "1", "--no-cache",
+                       "--no-journal", "--log-json", str(log_p),
+                       env=self._env(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        report = run_cli("report", str(log_p))
+        assert report.returncode == 0, report.stderr
+        assert "jobs:" in report.stdout
+        assert "Per-operator time" in report.stdout
+
+    def test_report_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("")
+        proc = run_cli("report", str(bogus))
+        assert proc.returncode == 2
+        assert "run_summary" in proc.stderr
+
+    def test_verbose_and_quiet_stderr(self, tmp_path):
+        src = tmp_path / "p.mini"
+        src.write_text("x = 1; assert(x == 1);")
+        env = self._env(tmp_path)
+        loud = run_cli("batch", str(src), "--jobs", "1", "--no-cache",
+                       "--no-journal", "-v", env=env)
+        assert "batch_done" in loud.stderr
+        quiet = run_cli("batch", str(src), "--jobs", "1", "--no-cache",
+                        "--no-journal", "-q", env=env)
+        assert quiet.stderr.strip() == ""
+        default = run_cli("batch", str(src), "--jobs", "1", "--no-cache",
+                          "--no-journal", env=env)
+        assert "batch_done" not in default.stderr
+
+    def test_no_telemetry_flags_no_artifacts(self, tmp_path):
+        """Without flags nothing extra appears on disk or streams."""
+        src = tmp_path / "p.mini"
+        src.write_text("x = 1; assert(x == 1);")
+        before = set(tmp_path.iterdir())
+        proc = run_cli("analyze", str(src))
+        assert proc.returncode == 0
+        assert set(tmp_path.iterdir()) == before
+
+
 class TestSuiteAndDemo:
     def test_suite_listing(self):
         proc = run_cli("suite")

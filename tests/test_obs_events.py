@@ -1,0 +1,120 @@
+"""Tests for the structured event logger."""
+
+import json
+
+import pytest
+
+from repro.obs import events
+
+
+@pytest.fixture(autouse=True)
+def reset_logger():
+    yield
+    events.configure(stderr_level=events.WARNING)
+    events.close()
+
+
+class TestVerbosity:
+    def test_flag_mapping(self):
+        assert events.verbosity_level() == events.WARNING
+        assert events.verbosity_level(verbose=1) == events.INFO
+        assert events.verbosity_level(verbose=2) == events.DEBUG
+        assert events.verbosity_level(verbose=5) == events.DEBUG
+        assert events.verbosity_level(quiet=True) == events.ERROR
+        # --quiet wins over -v.
+        assert events.verbosity_level(verbose=2, quiet=True) == events.ERROR
+
+
+class TestStderr:
+    def test_threshold_filters(self, capsys):
+        events.configure(stderr_level=events.WARNING)
+        events.info("hidden", a=1)
+        events.warning("shown", b=2)
+        err = capsys.readouterr().err
+        assert "hidden" not in err
+        assert "repro: warning: shown b=2" in err
+
+    def test_verbose_shows_info(self, capsys):
+        events.configure(stderr_level=events.INFO)
+        events.info("visible")
+        assert "repro: info: visible" in capsys.readouterr().err
+
+    def test_quiet_stderr_suppresses_even_errors(self, capsys):
+        events.configure(stderr_level=events.WARNING)
+        with events.quiet_stderr():
+            events.error("silent")
+        events.warning("loud")
+        err = capsys.readouterr().err
+        assert "silent" not in err
+        assert "loud" in err
+
+    def test_stdout_untouched(self, capsys):
+        events.configure(stderr_level=events.DEBUG)
+        events.warning("diag")
+        assert capsys.readouterr().out == ""
+
+
+class TestCapture:
+    def test_capture_sees_all_levels(self):
+        events.configure(stderr_level=events.ERROR)
+        with events.capture() as caught:
+            events.debug("d")
+            events.info("i", k="v")
+        assert [e.name for e in caught] == ["d", "i"]
+        assert caught[1].fields == {"k": "v"}
+        assert caught[1].level_name == "info"
+
+    def test_capture_stops_at_exit(self):
+        with events.capture() as caught:
+            pass
+        events.info("late")
+        assert caught == []
+
+
+class TestJsonlSink:
+    def test_every_event_logged_regardless_of_level(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        events.configure(stderr_level=events.ERROR, json_path=str(path),
+                         run_id="run-1")
+        events.debug("below_threshold", n=1)
+        events.warning("diag", err="boom")
+        events.close()
+        records = events.read_jsonl(str(path))
+        assert [r["event"] for r in records] == ["below_threshold", "diag"]
+        assert all(r["run"] == "run-1" for r in records)
+        assert records[1]["level"] == "warning"
+        assert records[1]["err"] == "boom"
+        assert all("ts" in r for r in records)
+
+    def test_configure_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        events.configure(json_path=str(path), run_id="a")
+        events.info("first")
+        events.configure(json_path=str(path), run_id="b")
+        events.info("second")
+        events.close()
+        records = events.read_jsonl(str(path))
+        assert [(r["run"], r["event"]) for r in records] == [
+            ("a", "first"), ("b", "second")]
+
+    def test_non_json_fields_stringified(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        events.configure(json_path=str(path))
+        events.info("odd", obj=object())
+        events.close()
+        (record,) = events.read_jsonl(str(path))
+        assert isinstance(record["obj"], str)
+
+
+class TestRender:
+    def test_render_format(self):
+        event = events.Event(events.WARNING, "cache_evicted",
+                             {"path": "/x", "reason": "corrupt"})
+        assert event.render() == ("repro: warning: cache_evicted "
+                                  "path=/x reason=corrupt")
+
+    def test_json_line_is_loadable(self):
+        event = events.Event(events.INFO, "x", {"a": 1}, ts=2.0)
+        record = json.loads(event.to_json("r"))
+        assert record == {"ts": 2.0, "level": "info", "event": "x",
+                          "run": "r", "a": 1}

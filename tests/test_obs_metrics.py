@@ -1,0 +1,198 @@
+"""Tests for the unified metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    HistogramData,
+    MetricsRegistry,
+    histogram_key,
+    merge_histogram_dicts,
+    metrics_jsonl,
+    prometheus_text,
+    validate_prometheus_text,
+)
+
+
+class TestRegistry:
+    def test_declaration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", "cache hits")
+        b = reg.counter("hits", "other help text")
+        assert a is b
+        assert len(reg.specs()) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_summary_zero_fills_and_derives(self):
+        reg = MetricsRegistry()
+        reg.counter("clones")
+        reg.counter("copies")
+        reg.counter("avoided",
+                    derive=lambda m: m.get("clones", 0) - m.get("copies", 0))
+        summary = reg.counter_summary({"clones": 5, "copies": 2})
+        assert summary["clones"] == 5
+        assert summary["avoided"] == 3
+        # Declared but never observed: present as zero.
+        empty = reg.counter_summary({})
+        assert empty == {"clones": 0, "copies": 0, "avoided": 0}
+
+    def test_summary_passes_through_undeclared(self):
+        reg = MetricsRegistry()
+        reg.counter("known")
+        summary = reg.counter_summary({"surprise": 7})
+        assert summary["surprise"] == 7
+
+    def test_global_registry_has_all_legacy_names(self):
+        """The registry-driven key set is a superset of the old
+        hand-maintained ``counter_summary`` dictionary."""
+        metrics.ensure_registered()
+        names = set(metrics.REGISTRY.counter_names())
+        legacy = {
+            "copies_avoided", "cow_clones", "cow_materializations",
+            "workspace_hits", "workspace_misses", "closure_cache_hits",
+            "plans_compiled", "plan_exec", "constraints_batched",
+            "closures_avoided", "budget_checkpoints", "budget_interrupts",
+            "paranoid_checks", "integrity_failures", "degradations",
+            "faults_injected", "result_cache_hits", "result_cache_misses",
+            "result_cache_evictions", "journal_records",
+            "journal_torn_lines",
+        }
+        assert legacy <= names
+
+    def test_histogram_declarations_present(self):
+        metrics.ensure_registered()
+        from repro.obs import collect  # noqa: F401  (declares histograms)
+        for name in ("closure_size", "closure_seconds", "op_seconds"):
+            spec = metrics.REGISTRY.get(name)
+            assert spec is not None and spec.kind == metrics.HISTOGRAM
+
+
+class TestHistogramData:
+    def test_observe_buckets(self):
+        h = HistogramData("lat", (0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.total == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_boundary_lands_in_its_bucket(self):
+        h = HistogramData("lat", (1.0, 2.0))
+        h.observe(1.0)  # le=1.0 bucket (cumulative semantics)
+        assert h.counts == [1, 0, 0]
+
+    def test_merge_and_dict_roundtrip(self):
+        a = HistogramData("lat", (1.0, 2.0), "join")
+        b = HistogramData("lat", (1.0, 2.0), "join")
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        back = HistogramData.from_dict(json.loads(json.dumps(a.to_dict())))
+        assert back.counts == a.counts
+        assert back.total == 3
+        assert back.label_value == "join"
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = HistogramData("lat", (1.0,))
+        b = HistogramData("lat", (2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_histogram_dicts(self):
+        a = HistogramData("op_seconds", (1.0,), "join")
+        a.observe(0.5)
+        key = histogram_key("op_seconds", "join")
+        merged = merge_histogram_dicts([{key: a.to_dict()},
+                                        {key: a.to_dict()}])
+        assert merged[key].total == 2
+
+    def test_histogram_key(self):
+        assert histogram_key("x") == "x"
+        assert histogram_key("x", "join") == "x|join"
+
+
+class TestPrometheusExport:
+    def _snapshot(self):
+        h = HistogramData("op_seconds", (0.001, 0.1), "join")
+        h.observe(0.0005)
+        h.observe(0.05)
+        h.observe(2.0)
+        return ({"cow_clones": 12, "copies_avoided": 3},
+                {histogram_key("op_seconds", "join"): h})
+
+    def test_exposition_validates(self):
+        counters, histograms = self._snapshot()
+        text = prometheus_text(counters, histograms)
+        assert validate_prometheus_text(text) > 0
+        assert "repro_cow_clones_total 12" in text
+        assert 'le="+Inf"' in text
+
+    def test_buckets_are_cumulative(self):
+        _, histograms = self._snapshot()
+        text = prometheus_text({}, histograms)
+        lines = [l for l in text.splitlines() if "_bucket" in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+        assert "repro_op_seconds_count" in text
+        assert 'op="join"' in text
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_prometheus_text("this is { not metrics\n")
+        with pytest.raises(ValueError):
+            validate_prometheus_text("")  # no samples
+
+    def test_help_lines_from_registry(self):
+        metrics.ensure_registered()
+        text = prometheus_text({"cow_clones": 1})
+        assert "# HELP repro_cow_clones_total" in text
+
+
+class TestJsonlExport:
+    def test_every_line_parses(self):
+        counters, histograms = ({"hits": 2}, {})
+        h = HistogramData("op_seconds", (1.0,), "join")
+        h.observe(0.5)
+        histograms[histogram_key("op_seconds", "join")] = h
+        text = metrics_jsonl(counters, histograms, run_id="r1")
+        lines = [json.loads(l) for l in text.splitlines()]
+        assert len(lines) == 2
+        assert all(l["run"] == "r1" for l in lines)
+        kinds = {l["kind"] for l in lines}
+        assert kinds == {"counter", "histogram"}
+
+
+class TestEnabledFlag:
+    def test_set_enabled_returns_previous(self):
+        previous = metrics.set_enabled(True)
+        try:
+            assert metrics.enabled()
+            assert metrics.set_enabled(False) is True
+            assert not metrics.enabled()
+        finally:
+            metrics.set_enabled(previous)
+
+    def test_collector_histograms_gated(self):
+        from repro.core.stats import collecting
+        previous = metrics.set_enabled(False)
+        try:
+            with collecting() as off:
+                off.record_op("join", 0.01)
+            assert off.histograms == {}
+            metrics.set_enabled(True)
+            with collecting() as on:
+                on.record_op("join", 0.01)
+            key = histogram_key("op_seconds", "join")
+            assert on.histograms[key].total == 1
+        finally:
+            metrics.set_enabled(previous)

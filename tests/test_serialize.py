@@ -144,3 +144,46 @@ class TestJobResultRoundtrip:
         from repro.core.serialize import job_result_from_dict
         with pytest.raises(ValueError):
             job_result_from_dict({"schema": 99})
+
+    def test_v4_carries_operator_timings(self):
+        """Schema v4: the Fig 8 per-operator split rides every result."""
+        from repro.service import AnalysisJob, execute_job
+        result = execute_job(AnalysisJob(
+            source="x = [0, 3]; y = x + 1; assert(y <= 4);", label="ops"))
+        raw = self._roundtrip(result)
+        assert raw["op_calls"]["assign"] >= 1
+        assert raw["op_seconds"]["assign"] > 0.0
+        assert set(raw["op_self_seconds"]) == set(raw["op_seconds"])
+        # Self time never exceeds inclusive time.
+        for name, self_s in raw["op_self_seconds"].items():
+            assert self_s <= raw["op_seconds"][name] + 1e-12
+
+    def test_v4_histograms_roundtrip(self):
+        from repro.obs import metrics
+        from repro.service import AnalysisJob, execute_job
+        result = execute_job(AnalysisJob(
+            source="x = [0, 3]; y = x + 1; assert(y <= 4);", label="hist",
+            telemetry=("metrics",)))
+        raw = self._roundtrip(result)
+        assert raw["histograms"]  # collected because telemetry asked
+        merged = metrics.merge_histogram_dicts([raw["histograms"]])
+        assert any(h.total > 0 for h in merged.values())
+
+    def test_trace_events_never_serialised(self):
+        """Spans ship over the worker pipe only -- telemetry is not
+        part of the result schema."""
+        from repro.core.serialize import job_result_to_dict
+        from repro.service import AnalysisJob, execute_job
+        result = execute_job(AnalysisJob(
+            source="x = 1; assert(x == 1);", label="tr",
+            telemetry=("trace",)))
+        assert result.trace_events  # recorded in-process
+        raw = job_result_to_dict(result)
+        assert "trace_events" not in raw
+
+    def test_telemetry_does_not_change_job_key(self):
+        from repro.service import AnalysisJob
+        src = "x = 1; assert(x == 1);"
+        plain = AnalysisJob(source=src)
+        watched = AnalysisJob(source=src, telemetry=("trace", "metrics"))
+        assert plain.key() == watched.key()

@@ -2,12 +2,15 @@
 
 import time
 
+import pytest
+
 from repro.core import Octagon, OctConstraint
 from repro.core.stats import (
     ClosureRecord,
     OpCounter,
     StatsCollector,
     active_collector,
+    bump,
     collecting,
     record_closure,
     timed_op,
@@ -73,6 +76,120 @@ class TestCapture:
             Octagon.from_constraints(2, [OctConstraint.upper(0, 1.0)]).closure()
         assert col.closure_stats()["closures"] == 1
         assert col.closures[0].n == 2
+
+
+class TestSelfTime:
+    """``timed_op`` nesting: inclusive vs. self time (the Fig 8 fix).
+
+    Before the split, a nested operator's wall time was charged to both
+    itself and its parent, so summing the per-operator column exceeded
+    the measured total -- the decomposition did not decompose.
+    """
+
+    def test_nested_op_not_double_counted(self):
+        with collecting() as col:
+            with timed_op("outer"):
+                time.sleep(0.002)
+                with timed_op("inner"):
+                    time.sleep(0.004)
+        # Inclusive: outer covers inner.
+        assert col.op_seconds["outer"] > col.op_seconds["inner"]
+        # Exclusive: outer's self time does NOT include inner.
+        assert col.op_self_seconds["outer"] < col.op_seconds["inner"]
+        assert col.op_self_seconds["inner"] == pytest.approx(
+            col.op_seconds["inner"])
+
+    def test_decomposition_sums_to_total(self):
+        """sum(self times) == elapsed of the outermost ops (Fig 8)."""
+        with collecting() as col:
+            with timed_op("a"):
+                with timed_op("b"):
+                    with timed_op("c"):
+                        time.sleep(0.002)
+                with timed_op("b"):
+                    time.sleep(0.001)
+        assert sum(col.op_self_seconds.values()) == pytest.approx(
+            col.op_seconds["a"], rel=1e-6)
+        assert col.total_seconds == pytest.approx(col.op_seconds["a"],
+                                                  rel=1e-6)
+
+    def test_sibling_ops_sum_exactly(self):
+        with collecting() as col:
+            with timed_op("parent"):
+                for _ in range(3):
+                    with timed_op("child"):
+                        time.sleep(0.001)
+        assert col.op_calls["child"] == 3
+        assert (col.op_self_seconds["parent"] + col.op_seconds["child"]
+                == pytest.approx(col.op_seconds["parent"], rel=1e-6))
+
+    def test_leaf_op_self_equals_inclusive(self):
+        with collecting() as col:
+            with timed_op("leaf"):
+                pass
+        assert col.op_self_seconds["leaf"] == col.op_seconds["leaf"]
+
+
+class TestNestedCollectors:
+    """Counter semantics when ``collecting()`` blocks nest."""
+
+    def test_inner_does_not_steal_outer_bumps(self):
+        with collecting() as outer:
+            bump("evt", 1)
+            with collecting() as inner:
+                bump("evt", 2)
+            bump("evt", 4)
+        assert inner.counters["evt"] == 2
+        # The outer collector saw every event, including the inner span.
+        assert outer.counters["evt"] == 7
+
+    def test_merged_counters_include_inner_global_deltas(self):
+        import numpy as np
+
+        from repro.core.cow import CowMat
+
+        def churn():
+            mat = CowMat(np.zeros((4, 4)))
+            clone = mat.clone()
+            clone.written()  # shared, so this pays a materialisation
+
+        with collecting() as outer:
+            churn()
+            with collecting() as inner:
+                churn()
+            churn()
+        assert inner.merged_counters()["cow_clones"] == 1
+        # Outer observes all three churns -- the inner collector did not
+        # steal the middle one's global-source deltas.
+        assert outer.merged_counters()["cow_clones"] == 3
+        assert outer.merged_counters()["cow_materializations"] == 3
+
+    def test_timings_go_to_innermost_only(self):
+        with collecting() as outer:
+            with collecting() as inner:
+                with timed_op("join"):
+                    pass
+        assert "join" in inner.op_seconds
+        assert outer.op_seconds == {}
+
+    def test_counter_summary_enumerates_registry(self):
+        """The summary is registry-driven: every declared counter is
+        present (zero-filled) without a hand-maintained key list."""
+        from repro.obs import metrics
+
+        with collecting() as col:
+            bump("cow_clones", 3)
+        summary = col.counter_summary()
+        assert set(metrics.REGISTRY.counter_names()) <= set(summary)
+        assert summary["cow_clones"] == 3
+        # Legacy names all survive the registry migration.
+        for name in ("copies_avoided", "workspace_hits",
+                     "closure_cache_hits", "plans_compiled", "plan_exec",
+                     "constraints_batched", "closures_avoided",
+                     "budget_checkpoints", "budget_interrupts",
+                     "paranoid_checks", "integrity_failures",
+                     "degradations", "faults_injected"):
+            assert name in summary, name
 
 
 class TestOpCounter:
