@@ -1,0 +1,219 @@
+"""Kernel backends and transport: the ablation behind ROADMAP item 3.
+
+Three tables into ``results/kernel_backends.txt``:
+
+1. **Per-kernel** -- the registered hot kernels on synthetic coherent
+   DBMs at paper-ish dimensions, per available backend (plus the
+   thread-tiled dense closure as a separate numba row).  When numba is
+   not installed the table records that honestly instead of silently
+   shrinking: the numpy rows are the reference either way.
+2. **End-to-end** -- the 17-benchmark suite per backend (inline, so
+   kernel time is not hidden behind fork overhead).
+3. **Transport** -- the suite with ``keep_invariants`` through the
+   process pool, pickled (zero-copy disabled) vs zero-copy, with the
+   counter-verified ``bytes_shipped``/``bytes_zero_copy`` split.
+
+Determinism assertions ride along: every backend and both transport
+modes must agree on all verdicts, and kernel outputs must be
+bit-identical across backends.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table, save_result
+from repro.core import kernels
+from repro.core.densemat import new_top
+from repro.core.halfmat import HalfMat
+from repro.service import run_suite
+from repro.service import transport
+
+
+def _coherent_dbm(n: int, density: float, seed: int) -> np.ndarray:
+    """A deterministic random coherent DBM that closes non-empty."""
+    rng = np.random.default_rng(seed)
+    m = new_top(n)
+    dim = 2 * n
+    count = int(density * dim * dim)
+    for _ in range(count):
+        i, j = int(rng.integers(dim)), int(rng.integers(dim))
+        if i == j:
+            continue
+        c = float(rng.integers(5, 60))  # positive bounds: never bottom
+        m[i, j] = min(m[i, j], c)
+        m[j ^ 1, i ^ 1] = m[i, j]
+    return m
+
+
+def _time_kernel(fn, matrices, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        copies = [m.copy() for m in matrices]
+        start = time.perf_counter()
+        for c in copies:
+            fn(c)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _kernel_rows(n: int):
+    """Per-kernel seconds per backend; returns (rows, outputs) where
+    outputs holds the closed matrices for cross-backend bit-comparison."""
+    dense = [_coherent_dbm(n, 0.4, seed) for seed in range(4)]
+    sparse = [_coherent_dbm(n, 0.02, seed) for seed in range(4)]
+    halves = [HalfMat.from_full(m) for m in dense]
+
+    cases = [
+        ("dense_closure", dense, lambda m: kernels.dense_closure(m)),
+        ("sparse_closure", sparse, lambda m: kernels.sparse_closure(m)),
+        ("incremental_closure", dense,
+         lambda m: kernels.incremental_closure(m, 0)),
+        ("strengthen", dense, lambda m: kernels.strengthen(m)),
+        ("count_nni", dense, lambda m: kernels.count_nni(m)),
+    ]
+    rows = []
+    outputs = {}
+    timings = {}
+    for backend in kernels.available_backends():
+        with kernels.backend(backend):
+            for name, mats, fn in cases:
+                seconds = _time_kernel(fn, mats)
+                timings[(name, backend)] = seconds
+                closed = [m.copy() for m in mats]
+                for c in closed:
+                    fn(c)
+                outputs.setdefault(name, {})[backend] = closed
+            # The APRON scalar baseline operates on the half layout.
+            seconds = _time_kernel(
+                lambda h: kernels.apron_closure(h),
+                halves if backend == "numpy" else halves)
+            timings[("apron_closure", backend)] = seconds
+        if backend == "numba":
+            from repro.core.kernels import numba_backend
+
+            numba_backend.set_tiling(True)
+            try:
+                with kernels.backend("numba"):
+                    timings[("dense_closure", "numba+tiled")] = _time_kernel(
+                        lambda m: kernels.dense_closure(m), dense)
+            finally:
+                numba_backend.set_tiling(False)
+
+    kernel_names = ["dense_closure", "sparse_closure", "incremental_closure",
+                    "strengthen", "count_nni", "apron_closure"]
+    for name in kernel_names:
+        numpy_s = timings[(name, "numpy")]
+        row = [name, f"{numpy_s * 1e3:.2f}"]
+        for variant in ("numba", "numba+tiled"):
+            key = (name, variant)
+            if key in timings:
+                row.append(f"{timings[key] * 1e3:.2f}")
+                row.append(f"{numpy_s / max(timings[key], 1e-12):.2f}x")
+            else:
+                row.append("-")
+                row.append("-")
+        rows.append(row)
+    return rows, outputs
+
+
+def _suite_rows(scale):
+    rows = []
+    fingerprints = []
+    for backend in kernels.available_backends():
+        batch = run_suite(scale, workers=1, kernel_backend=backend)
+        assert batch.all_ok
+        rows.append([backend, f"{batch.wall_seconds:.3f}",
+                     str(batch.counters().get(f"kernel_calls_{backend}", 0))])
+        fingerprints.append([r.verdicts() for r in batch.results])
+    for fp in fingerprints[1:]:
+        assert fp == fingerprints[0]
+    return rows
+
+
+def _transport_rows(scale):
+    pickled = None
+    transport.set_zero_copy(False)
+    try:
+        pickled = run_suite(scale, workers=4, keep_invariants=True)
+    finally:
+        transport.set_zero_copy(True)
+    zero_copy = run_suite(scale, workers=4, keep_invariants=True)
+    for batch in (pickled, zero_copy):
+        assert batch.all_ok
+    assert [r.verdicts() for r in pickled.results] \
+        == [r.verdicts() for r in zero_copy.results]
+
+    def row(label, batch):
+        t = batch.transport
+        return [label, f"{batch.wall_seconds:.3f}",
+                str(t.get("bytes_shipped", 0)),
+                str(t.get("bytes_zero_copy", 0)),
+                str(t.get("shm_blocks_attached", 0))]
+
+    return [row("pickled (protocol 5)", pickled),
+            row("zero-copy (shm)", zero_copy)], pickled, zero_copy
+
+
+def _measure(scale):
+    n = {"small": 16, "paper": 50, "large": 100}.get(scale, 50)
+    kernel_rows, outputs = _kernel_rows(n)
+    # Cross-backend bit-identity on the benchmark matrices themselves.
+    for name, per_backend in outputs.items():
+        reference = per_backend["numpy"]
+        for backend, closed in per_backend.items():
+            for got, want in zip(closed, reference):
+                assert got.tobytes() == want.tobytes(), (name, backend)
+    suite_rows = _suite_rows(scale)
+    transport_rows, pickled, zero_copy = _transport_rows(scale)
+    return {"kernel_rows": kernel_rows, "suite_rows": suite_rows,
+            "transport_rows": transport_rows,
+            "pickled": pickled, "zero_copy": zero_copy, "n": n}
+
+
+def test_kernel_backends(benchmark, scale):
+    result = run_once(benchmark, lambda: _measure(scale))
+
+    reason = kernels.numba_unavailable_reason()
+    note = ("numba backends: available" if reason is None
+            else f"numba unavailable ({reason.splitlines()[0]}); "
+                 f"numpy reference rows only")
+    tables = [
+        format_table(
+            ["kernel", "numpy ms", "numba ms", "speedup",
+             "numba+tiled ms", "speedup"],
+            result["kernel_rows"],
+            title=(f"Per-kernel, n={result['n']} "
+                   f"({2 * result['n']}x{2 * result['n']} DBMs), "
+                   f"best of 3 -- {note}")),
+        format_table(
+            ["backend", "wall s", "kernel calls"], result["suite_rows"],
+            title=f"End-to-end, 17-benchmark suite, scale={scale}, inline"),
+        format_table(
+            ["transport", "wall s", "bytes shipped", "bytes zero-copy",
+             "shm blocks"],
+            result["transport_rows"],
+            title=(f"Result transport, suite + keep_invariants, jobs=4, "
+                   f"scale={scale}, ncpu={os.cpu_count()}")),
+    ]
+    report = "\n\n".join(tables)
+    print("\n" + report)
+    save_result("kernel_backends", report)
+
+    pickled, zero_copy = result["pickled"], result["zero_copy"]
+    benchmark.extra_info.update({
+        "numba_available": reason is None,
+        "pickled_bytes_shipped": pickled.transport.get("bytes_shipped", 0),
+        "zero_copy_bytes_shipped":
+            zero_copy.transport.get("bytes_shipped", 0),
+        "bytes_zero_copy": zero_copy.transport.get("bytes_zero_copy", 0),
+    })
+    # The acceptance bar, counter-verified: the zero-copy pass ships
+    # strictly fewer pipe bytes whenever the shm lane engaged at all
+    # (small scales may fit every DBM under the inline threshold -- an
+    # honest no-win, recorded in the table either way).
+    if zero_copy.transport.get("shm_blocks_attached", 0) > 0:
+        assert zero_copy.transport["bytes_shipped"] \
+            < pickled.transport["bytes_shipped"]

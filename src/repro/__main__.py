@@ -73,6 +73,9 @@ def cmd_analyze(args) -> int:
     _apply_paranoid(args)
     if len(args.files) > 1:
         return _analyze_many(args)
+    from .core import kernels
+
+    kernels.use(args.kernel_backend)
     with open(args.files[0]) as fh:
         source = fh.read()
     analyzer = Analyzer(domain=args.domain,
@@ -126,6 +129,7 @@ def _analyze_many(args) -> int:
     jobs = jobs_from_files(args.files, domain=args.domain,
                            widening_delay=args.widening_delay,
                            compile_transfer=not args.no_compile,
+                           kernel_backend=args.kernel_backend,
                            telemetry=_telemetry(args),
                            **_budget_kwargs(args))
     batch = run_batch(jobs, workers=args.jobs)
@@ -195,11 +199,13 @@ def cmd_batch(args) -> int:
             return 2
         jobs = suite_jobs(args.scale, domain=args.domain,
                           compile_transfer=not args.no_compile,
+                          kernel_backend=args.kernel_backend,
                           telemetry=_telemetry(args),
                           **_budget_kwargs(args))
     elif args.files:
         jobs = jobs_from_files(args.files, domain=args.domain,
                                compile_transfer=not args.no_compile,
+                               kernel_backend=args.kernel_backend,
                                telemetry=_telemetry(args),
                                **_budget_kwargs(args))
     else:
@@ -244,6 +250,11 @@ def cmd_batch(args) -> int:
     if cache is not None:
         print(f"cache: {batch.cache_hits} hits, {batch.cache_misses} misses, "
               f"{cache.evictions} evictions ({cache.dir})")
+    if batch.transport.get("bytes_shipped"):
+        print(f"transport: {batch.transport['bytes_shipped']} B over pipes, "
+              f"{batch.transport.get('bytes_zero_copy', 0)} B zero-copy "
+              f"({batch.transport.get('shm_blocks_attached', 0)} shm "
+              f"segment(s))")
 
     if args.json:
         from .core.serialize import job_result_to_dict
@@ -375,6 +386,14 @@ def main(argv=None) -> int:
                        help="DBM-cell (closure traffic) budget per "
                             "procedure attempt")
 
+    def add_kernel_flags(p) -> None:
+        p.add_argument("--kernel-backend", default=None,
+                       choices=["auto", "numpy", "numba"],
+                       help="closure-kernel backend (default: "
+                            "REPRO_KERNEL_BACKEND or 'auto'; 'auto' uses "
+                            "numba when it imports and warm-compiles, else "
+                            "the numpy reference)")
+
     def add_telemetry_flags(p) -> None:
         p.add_argument("--trace", default=None, metavar="OUT",
                        help="record spans and write Chrome trace-event "
@@ -394,6 +413,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("analyze", help="analyze one or more source files")
     add_robustness_flags(p)
+    add_kernel_flags(p)
     add_telemetry_flags(p)
     p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--domain", default="octagon",
@@ -445,6 +465,7 @@ def main(argv=None) -> int:
                         "earlier (killed) run of this batch; only "
                         "unfinished jobs re-run")
     add_robustness_flags(p)
+    add_kernel_flags(p)
     add_telemetry_flags(p)
     p.set_defaults(func=cmd_batch)
 

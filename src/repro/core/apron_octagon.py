@@ -20,9 +20,9 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Sequence, Tuple
 
+from . import kernels
 from . import stats
 from .bounds import INF, is_finite
-from .closure_apron import closure_apron
 from .constraints import LinExpr, OctConstraint, constraint_of_cell, dbm_cells
 from .halfmat import HalfMat
 from .indexing import cap
@@ -204,7 +204,7 @@ class ApronOctagon:
             return self._ccache
         out = self.copy()
         start = time.perf_counter()
-        empty = closure_apron(out.half)
+        empty = kernels.apron_closure(out.half)
         stats.record_closure(self.n, "apron", time.perf_counter() - start)
         if empty:
             self._become_bottom()

@@ -31,17 +31,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .closure_dense import closure_dense_numpy, shortest_path_dense_numpy
-from .closure_sparse import shortest_path_sparse
-from .densemat import count_nni
+from . import kernels
 from .indexing import expand_vars, half_size
 from .partition import Partition
 from .stats import OpCounter
-from .strengthen import (
-    is_bottom_numpy,
-    reset_diagonal_numpy,
-    strengthen_sparse_numpy,
-)
+from .strengthen import is_bottom_numpy, reset_diagonal_numpy
 from .workspace import get_workspace
 
 
@@ -50,7 +44,7 @@ def submatrix_sparsity(sub: np.ndarray) -> float:
     b = sub.shape[0] // 2
     if b == 0:
         return 0.0
-    return 1.0 - count_nni(sub) / half_size(b)
+    return 1.0 - kernels.count_nni(sub) / half_size(b)
 
 
 def close_component(
@@ -65,12 +59,12 @@ def close_component(
     gather = np.ix_(idx, idx)
     sub = np.ascontiguousarray(m[gather])
     if submatrix_sparsity(sub) >= sparse_threshold:
-        shortest_path_sparse(sub, counter)
+        kernels.sparse_shortest_path(sub, counter)
     else:
         # Copy-close-copy-back with the vectorised dense kernel; run only
         # the shortest-path part here (strengthening happens globally so
         # that component merging is handled in one place).
-        shortest_path_dense_numpy(sub, counter)
+        kernels.dense_shortest_path(sub, counter)
     m[gather] = sub
 
 
@@ -82,7 +76,7 @@ def strengthen_and_merge(
     ws = get_workspace(dim)
     d = m[ws.arange, ws.xor]
     finite_vars = np.nonzero(np.isfinite(d).reshape(-1, 2).any(axis=1))[0]
-    performed = strengthen_sparse_numpy(m)
+    performed = kernels.strengthen_sparse(m)
     if counter is not None:
         counter.tick(3 * performed)
     if finite_vars.size > 1:
@@ -109,7 +103,7 @@ def closure_decomposed(
         return False, partition
     # Degenerate single full block: defer to the plain dense/sparse path.
     if len(partition.blocks) == 1 and len(partition.blocks[0]) == n:
-        empty = closure_dense_numpy(m, counter)
+        empty = kernels.dense_closure(m, counter)
         if empty:
             return True, partition
         return False, Partition.from_matrix(m)

@@ -1,0 +1,39 @@
+"""The NumPy kernel table: the existing vectorised/scalar kernels.
+
+This backend *is* the code the reproduction always had -- the
+production NumPy closures of ``closure_dense``/``closure_sparse``/
+``closure_incremental``, the vectorised strengthening, the NNI count
+and the scalar APRON baseline.  Wrapping them in a table makes them the
+reference implementation every other backend is differentially tested
+against (bit-identical matrices, identical return values).
+"""
+
+from __future__ import annotations
+
+from ..closure_apron import closure_apron
+from ..closure_dense import closure_dense_numpy, shortest_path_dense_numpy
+from ..closure_incremental import incremental_closure
+from ..closure_sparse import closure_sparse, shortest_path_sparse
+from ..densemat import count_nni
+from ..strengthen import strengthen_numpy, strengthen_sparse_numpy
+
+
+def _strengthen(m) -> None:
+    strengthen_numpy(m)
+
+
+def _count_nni(m) -> int:
+    return count_nni(m)
+
+
+TABLE = {
+    "dense_closure": closure_dense_numpy,
+    "dense_shortest_path": shortest_path_dense_numpy,
+    "sparse_shortest_path": shortest_path_sparse,
+    "sparse_closure": closure_sparse,
+    "strengthen_sparse": strengthen_sparse_numpy,
+    "incremental_closure": incremental_closure,
+    "strengthen": _strengthen,
+    "count_nni": _count_nni,
+    "apron_closure": closure_apron,
+}

@@ -48,16 +48,15 @@ import numpy as np
 
 from ..obs import metrics, trace
 from . import budget as _budget
+from . import kernels
 from . import sentinel as _sentinel
 from . import stats
 from .bounds import INF, is_finite
 from .cow import CowMat, is_enabled as _cow_enabled
 from .closure_decomposed import closure_decomposed
-from .closure_dense import closure_dense_numpy
-from .closure_incremental import incremental_closure
-from .closure_sparse import closure_sparse
 from .constraints import LinExpr, OctConstraint, constraints_from_dbm, dbm_cells
-from .densemat import count_nni, matrices_equal, new_top
+from .densemat import matrices_equal, new_top
+from .kernels import count_nni
 from .indexing import expand_vars, half_size
 from .kinds import DEFAULT_POLICY, DbmKind, SwitchPolicy
 from .partition import Partition
@@ -299,11 +298,11 @@ class Octagon:
                 self.partition = exact
                 self.nni = count_nni(m)
         elif kind == DbmKind.SPARSE:
-            empty = closure_sparse(m)
+            empty = kernels.sparse_closure(m)
             if not empty:
                 self._refresh_structure_exact()
         else:
-            empty = closure_dense_numpy(m)
+            empty = kernels.dense_closure(m)
             if not empty:
                 self._refresh_structure_exact()
         elapsed = time.perf_counter() - start
@@ -311,7 +310,8 @@ class Octagon:
         if trace.enabled():  # skip the args dict on the disabled path
             trace.emit("closure", start, start + elapsed,
                        args={"n": self.n, "kind": str(kind),
-                             "components": components})
+                             "components": components,
+                             "backend": kernels.active_backend()})
         if empty:
             self._become_bottom()
         else:
@@ -325,12 +325,13 @@ class Octagon:
         _budget.charge_cells(8 * self.n)  # two row/column pairs touched
         m = self._write_mat()
         start = time.perf_counter()
-        empty = incremental_closure(m, v)
+        empty = kernels.incremental_closure(m, v)
         elapsed = time.perf_counter() - start
         stats.record_closure(self.n, "incremental", elapsed, len(self.partition.blocks))
         if trace.enabled():  # skip the args dict on the disabled path
             trace.emit("closure_inc", start, start + elapsed,
-                       args={"n": self.n, "v": v})
+                       args={"n": self.n, "v": v,
+                             "backend": kernels.active_backend()})
         if empty:
             self._become_bottom()
             return
@@ -934,7 +935,6 @@ class Octagon:
             from .strengthen import (
                 is_bottom_numpy,
                 reset_diagonal_numpy,
-                strengthen_numpy,
                 tighten_integer_numpy,
             )
             # Integral non-unary bounds: floor every finite entry (all
@@ -944,7 +944,7 @@ class Octagon:
             finite = np.isfinite(m)
             m[finite] = np.floor(m[finite])
             tighten_integer_numpy(m)
-            strengthen_numpy(m)
+            kernels.strengthen(m)
             if is_bottom_numpy(m):
                 out._become_bottom()
                 return out

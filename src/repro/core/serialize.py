@@ -138,8 +138,11 @@ def analysis_report(result) -> Dict:
 #: decomposition (``op_seconds``/``op_self_seconds``/``op_calls``) and
 #: histogram snapshots, so ``--json`` documents carry the Fig 8 time
 #: split for every execution mode (``trace_events`` is deliberately
-#: *not* serialised: spans ship over the worker pipe only).
-JOB_RESULT_SCHEMA = 4
+#: *not* serialised: spans ship over the worker pipe only).  v5 added
+#: ``kernel_backend`` (the concrete kernel backend the worker computed
+#: with -- a cache-key component, so the document must record it);
+#: ``dbms`` and ``shm_arena`` stay wire-only, like ``trace_events``.
+JOB_RESULT_SCHEMA = 5
 
 
 def job_result_to_dict(result) -> Dict:
@@ -178,6 +181,7 @@ def job_result_to_dict(result) -> Dict:
         "histograms": {str(k): dict(v)
                        for k, v in result.histograms.items()},
         "rungs": {str(k): str(v) for k, v in result.rungs.items()},
+        "kernel_backend": str(result.kernel_backend),
         "resumed": result.resumed,
     }
 
@@ -218,6 +222,7 @@ def job_result_from_dict(raw: Dict):
         histograms={str(k): dict(v)
                     for k, v in raw.get("histograms", {}).items()},
         rungs={str(k): str(v) for k, v in raw.get("rungs", {}).items()},
+        kernel_backend=str(raw.get("kernel_backend", "numpy")),
         cached=bool(raw.get("cached", False)),
         resumed=bool(raw.get("resumed", False)),
     )

@@ -166,6 +166,8 @@ _OWNER_MODULES = (
     "repro.core.budget",
     "repro.core.sentinel",
     "repro.core.octagon",
+    "repro.core.kernels",
+    "repro.service.transport",
     "repro.analysis.plan",
     "repro.analysis.analyzer",
     "repro.service.cache",

@@ -54,11 +54,25 @@ class AnalysisJob:
     time_budget: Optional[float] = None
     iteration_budget: Optional[int] = None
     cell_budget: Optional[int] = None
+    #: Kernel backend request (``auto``/``numpy``/``numba``; None = the
+    #: process default, i.e. ``REPRO_KERNEL_BACKEND`` or ``auto``).  The
+    #: *resolved* name is what enters the cache key.
+    kernel_backend: Optional[str] = None
+    #: Ship per-procedure exit DBMs back with the result (the payload
+    #: the zero-copy transport exists for).  Included in the cache key:
+    #: it changes what the result contains.
+    keep_invariants: bool = False
     #: Telemetry requested for this job's execution: any of ``"trace"``
     #: (record spans and ship them back with the result) and
     #: ``"metrics"`` (collect histogram distributions).  Observation
     #: only -- it cannot change the analysis result.
     telemetry: Tuple[str, ...] = ()
+
+    def resolved_backend(self) -> str:
+        """The concrete kernel backend this job will run under."""
+        from ..core import kernels
+
+        return kernels.resolve(self.kernel_backend)
 
     def options(self) -> Dict[str, object]:
         """The analyzer options in normalised (JSON-stable) form.
@@ -73,9 +87,18 @@ class AnalysisJob:
         result was computed.  The budgets are included too -- a tightly
         budgeted run can legitimately produce different (degraded)
         verdicts than an unbounded one, so they must not share a key.
+
+        ``kernel_backend`` enters in *resolved* form (``auto`` is a
+        request, not a computation): backends are differentially tested
+        bit-identical, but like ``compile_transfer`` the key records
+        how the result was actually produced.  ``keep_invariants``
+        changes the result's *content* (it adds the exit DBMs), so it
+        is a key component in the ordinary sense.
         """
         return {
             "domain": self.domain,
+            "kernel_backend": self.resolved_backend(),
+            "keep_invariants": bool(self.keep_invariants),
             "widening_delay": int(self.widening_delay),
             "narrowing_steps": int(self.narrowing_steps),
             "widening_thresholds": [float(t) for t in self.widening_thresholds],
@@ -157,6 +180,14 @@ class JobResult:
     #: value below ``domain`` marks a ladder descent, ``"<top>"`` a
     #: full fall-through to synthesized top states.
     rungs: Dict[str, str] = field(default_factory=dict)
+    #: The concrete kernel backend the worker computed with.
+    kernel_backend: str = "numpy"
+    #: Per-procedure exit DBMs (coherent ``float64`` matrices), present
+    #: when the job ran with ``keep_invariants``.  Excluded from
+    #: equality and from the JSON schema: array payloads ride the
+    #: worker pipe (ideally zero-copy) but are not part of the portable
+    #: result document.
+    dbms: Dict[str, object] = field(default_factory=dict, compare=False)
     cached: bool = field(default=False, compare=False)
     #: Served from a batch journal during ``--resume`` (like ``cached``,
     #: excluded from equality).
@@ -166,6 +197,11 @@ class JobResult:
     #: spans onto the job's lane; deliberately *not* part of the JSON
     #: schema or equality -- telemetry is not part of the result.
     trace_events: List[dict] = field(default_factory=list, compare=False)
+    #: Shared-memory arena backing ``dbms`` (and any other out-of-band
+    #: buffer) when this result arrived over the zero-copy transport.
+    #: Parent-side bookkeeping only; the cache and journal go through
+    #: the JSON schema, which excludes it (and ``dbms``).
+    shm_arena: object = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -212,13 +248,14 @@ def execute_job(job: AnalysisJob) -> JobResult:
     from contextlib import nullcontext
 
     from ..analysis.analyzer import Analyzer
-    from ..core import stats
+    from ..core import kernels, stats
     from ..obs import trace
     from ..testing import faults
 
     if faults.fire("worker_kill", job.label):
         faults.kill_process()
 
+    backend = kernels.use(job.kernel_backend)
     analyzer = Analyzer(
         domain=job.domain,
         widening_delay=job.widening_delay,
@@ -247,12 +284,19 @@ def execute_job(job: AnalysisJob) -> JobResult:
     checks = [CheckVerdict(c.procedure, c.cond_text, c.verified)
               for c in result.checks]
     procedures: List[ProcedureSummary] = []
+    dbms: Dict[str, object] = {}
     for proc in result.procedures:
         state = proc.invariant_at_exit()
         reachable = not state.is_bottom()
         box: List[List[Optional[float]]] = []
         if reachable:
             box = [[_bound(lo), _bound(hi)] for lo, hi in state.to_box()]
+            if job.keep_invariants:
+                mat = getattr(state, "mat", None)
+                if mat is not None:
+                    # A private contiguous copy: the state's matrix may be
+                    # a COW-shared page the analyzer still owns.
+                    dbms[proc.name] = mat.copy()
         procedures.append(ProcedureSummary(
             name=proc.name,
             variables=list(proc.cfg.variables),
@@ -279,6 +323,8 @@ def execute_job(job: AnalysisJob) -> JobResult:
         op_calls=dict(collector.op_calls),
         histograms=collector.histograms_export(),
         rungs=rungs,
+        kernel_backend=backend,
+        dbms=dbms,
         trace_events=session.events if session is not None else [],
     )
 

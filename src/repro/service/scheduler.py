@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import WorkerDied
 from ..obs import events, trace
+from . import transport
 from .cache import ResultCache
 from .job import (
     OUTCOME_ERROR,
@@ -71,6 +72,11 @@ class BatchResult:
     cache_misses: int = 0
     #: Jobs served from the batch journal during ``--resume``.
     resumed: int = 0
+    #: Parent-side transport counter deltas for this batch
+    #: (``bytes_shipped``, ``bytes_zero_copy``, ``shm_blocks_*``) --
+    #: measured where the pipes terminate, so they exist even for jobs
+    #: whose workers died mid-ship.
+    transport: Dict[str, int] = field(default_factory=dict)
 
     @property
     def all_ok(self) -> bool:
@@ -96,13 +102,16 @@ class BatchResult:
         return counts
 
     def counters(self) -> Dict[str, int]:
-        """Hot-path counters summed over all non-cached job results."""
+        """Hot-path counters summed over all non-cached job results,
+        plus the batch's parent-side transport counters."""
         total: Dict[str, int] = {}
         for r in self.results:
             if r.cached:
                 continue
             for name, value in r.counters.items():
                 total[name] = total.get(name, 0) + value
+        for name, value in self.transport.items():
+            total[name] = total.get(name, 0) + value
         return total
 
     def op_timings(self) -> Dict[str, Dict]:
@@ -147,10 +156,10 @@ def _worker_main(conn, worker: Callable[[AnalysisJob], JobResult],
     """Child-process entry: run the job, ship the outcome, exit."""
     try:
         result = worker(job)
-        conn.send(("ok", result))
+        transport.send_payload(conn, ("ok", result))
     except BaseException:
         try:
-            conn.send(("raised", traceback.format_exc()))
+            transport.send_payload(conn, ("raised", traceback.format_exc()))
         except (OSError, ValueError):
             pass
     finally:
@@ -261,6 +270,8 @@ def run_batch(
 
     events.info("batch_start", jobs=len(jobs), scheduled=len(pending),
                 workers=workers, cache_hits=cache_hits, resumed=resumed)
+    transport.sweep_orphans()
+    transport_before = transport.transport_counters()
     with trace.span("batch", jobs=len(jobs), workers=workers):
         try:
             if workers == 1:
@@ -275,11 +286,14 @@ def run_batch(
                 journal.close()
 
     assert all(r is not None for r in results)
+    transport_after = transport.transport_counters()
     batch = BatchResult(results=list(results),
                         wall_seconds=time.perf_counter() - start,
                         workers=workers,
                         cache_hits=cache_hits, cache_misses=cache_misses,
-                        resumed=resumed)
+                        resumed=resumed,
+                        transport={name: transport_after[name] - before
+                                   for name, before in transport_before.items()})
     events.info("batch_done", wall_seconds=round(batch.wall_seconds, 6),
                 **batch.outcome_counts())
     return batch
@@ -360,6 +374,9 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
         entry.proc.join()
         conn.close()
         del running[conn]
+        # A worker that died inside the send window may have created its
+        # shared-memory segment without the parent ever attaching it.
+        transport.sweep_worker(entry.proc.pid)
         if entry.attempt <= retries:
             events.warning("job_retry", label=jobs[entry.idx].label,
                            attempt=entry.attempt + 1,
@@ -403,7 +420,8 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
                 # The worker reported before exiting (possibly right at
                 # the deadline -- a delivered result beats a timeout).
                 try:
-                    status, payload = conn.recv()
+                    message, arena = transport.recv_payload(conn)
+                    status, payload = message
                 except EOFError:
                     entry.proc.join()
                     retry_or_fail(conn, entry,
@@ -411,6 +429,7 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
                     continue
                 if status == "ok":
                     payload.attempts = entry.attempt
+                    payload.shm_arena = arena
                     reap(conn, entry, payload)
                 else:  # the worker raised; retry, then report the traceback
                     retry_or_fail(conn, entry, payload)
@@ -424,5 +443,6 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
                 if entry.proc.is_alive():
                     entry.proc.kill()
                     entry.proc.join()
+                transport.sweep_worker(entry.proc.pid)
                 reap(conn, entry,
                      _timeout_result(jobs[entry.idx], timeout, entry.attempt))
