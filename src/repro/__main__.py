@@ -339,8 +339,14 @@ def cmd_bench(args) -> int:
 
 
 def cmd_suite(_args) -> int:
+    from .core import kernels
+    from .service.cache import default_cache_root
     from .workloads import BENCHMARKS
 
+    # The same resolved configuration the server reports on `status`,
+    # so CLI and daemon can be checked for agreement.
+    print(f"kernel backend: {kernels.resolve(None)}")
+    print(f"cache dir: {default_cache_root()}")
     print(f"{'benchmark':14s} {'analyzer':8s} {'nmin':>5s} {'nmax':>5s} "
           f"{'#closures':>9s} {'oct speedup':>11s}")
     for bench in BENCHMARKS:
@@ -348,6 +354,103 @@ def cmd_suite(_args) -> int:
         print(f"{bench.name:14s} {bench.analyzer:8s} {p.nmin:5d} {p.nmax:5d} "
               f"{p.closures:9d} {p.oct_speedup:10.1f}x")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import run_server
+
+    try:
+        run_server(args.socket,
+                   port=args.port,
+                   host=args.host,
+                   workers=args.workers,
+                   cache_dir=args.cache_dir,
+                   use_cache=not args.no_cache,
+                   lru_procedures=args.lru_procedures)
+    except (RuntimeError, OSError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _client_render_analyze(response, label: str) -> int:
+    """Render one analyze response like the batch report; returns the
+    number of unproven assertions (the exit-code contribution)."""
+    result = response["result"]
+    tiers = response["tiers"]
+    print(f"== {label} ==")
+    if result["outcome"] == "degraded":
+        rungs = ", ".join(f"{proc}->{dom}"
+                          for proc, dom in sorted(result["rungs"].items()))
+        print(f"  degraded under budget ({rungs})")
+    for proc in result["procedures"]:
+        print(f"proc {proc['name']}:")
+        if not proc["reachable"]:
+            print("  exit: unreachable")
+        else:
+            for name, (lo, hi) in zip(proc["variables"], proc["box"]):
+                print(f"  {name} in [{_fmt_opt(lo)}, {_fmt_opt(hi)}] at exit")
+    failures = 0
+    for _, cond_text, verified in result["checks"]:
+        ok = "VERIFIED" if verified else "FAILED TO PROVE"
+        failures += 0 if verified else 1
+        print(f"  assert({cond_text}): {ok}")
+    print(f"  tiers: memory={tiers['memory']} disk={tiers['disk']} "
+          f"computed={tiers['computed']}  "
+          f"({response['request_seconds']:.4f}s)")
+    return failures
+
+
+def cmd_client(args) -> int:
+    import json as _json
+
+    from .serve import ServeClient, ServeError
+
+    try:
+        client = ServeClient(args.socket, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"client: cannot connect: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.action == "analyze":
+                if not args.files:
+                    print("client: analyze needs FILE arguments",
+                          file=sys.stderr)
+                    return 2
+                options = {"domain": args.domain,
+                           "widening_delay": args.widening_delay,
+                           "compile_transfer": not args.no_compile}
+                if args.kernel_backend is not None:
+                    options["kernel_backend"] = args.kernel_backend
+                for key, value in _budget_kwargs(args).items():
+                    if value is not None:
+                        options[key] = value
+                failures = 0
+                for path in args.files:
+                    with open(path) as fh:
+                        source = fh.read()
+                    response = client.analyze(source, label=str(path),
+                                              options=options)
+                    failures += _client_render_analyze(response, str(path))
+                return 1 if failures else 0
+            if args.action == "metrics":
+                sys.stdout.write(client.metrics())
+                return 0
+            if args.action == "shutdown":
+                response = client.shutdown()
+                print(f"server pid {response['pid']} stopping")
+                return 0
+            response = client.request({"cmd": args.action})
+            response.pop("ok", None)
+            print(_json.dumps(response, indent=2, sort_keys=True))
+            return 0
+        except ServeError as exc:
+            print(f"client: server error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"client: {exc}", file=sys.stderr)
+            return 2
 
 
 def cmd_demo(args) -> int:
@@ -496,6 +599,52 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("suite", help="list the benchmark suite")
     p.set_defaults(func=cmd_suite)
+
+    def add_endpoint_flags(p) -> None:
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket path (default: serve.sock under "
+                            "the cache root)")
+        p.add_argument("--port", type=int, default=None,
+                       help="serve/connect over TCP on this port instead "
+                            "of a Unix socket (0 = ephemeral)")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="TCP host (with --port; default 127.0.0.1)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis server (incremental "
+             "per-procedure re-analysis)")
+    add_endpoint_flags(p)
+    p.add_argument("--workers", type=int, default=4,
+                   help="max concurrently executing requests (default 4)")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="no disk tier: memory LRU only")
+    p.add_argument("--lru-procedures", type=int, default=1024,
+                   help="in-memory LRU capacity in procedure results "
+                        "(default 1024)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running analysis server")
+    p.add_argument("action",
+                   choices=["analyze", "ping", "status", "stats",
+                            "metrics", "shutdown"])
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="source files (analyze action)")
+    add_endpoint_flags(p)
+    p.add_argument("--domain", default="octagon",
+                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+    p.add_argument("--widening-delay", type=int, default=2)
+    p.add_argument("--no-compile", action="store_true",
+                   help="interpret edge actions instead of compiled "
+                        "transfer plans")
+    add_robustness_flags(p)
+    add_kernel_flags(p)
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser("demo", help="analyse the paper's Figure 2 example")
     p.add_argument("--domain", default="octagon",

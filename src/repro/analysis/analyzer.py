@@ -43,6 +43,9 @@ LADDER = {
 
 metrics.REGISTRY.counter("degradations",
                          "Procedures retried at a lower precision rung")
+metrics.REGISTRY.counter("fixpoint_runs",
+                         "Fixpoint solves started (one per procedure per "
+                         "ladder rung attempted)")
 
 
 @dataclass
@@ -184,6 +187,7 @@ class Analyzer:
                 factory = get_domain(rung) if isinstance(rung, str) else rung
                 with trace.span("rung", domain=rung_name(rung)) as sp:
                     try:
+                        stats.bump("fixpoint_runs")
                         fix = engine.analyze(cfg, factory,
                                              budget=self._fresh_budget())
                     except AnalysisInterrupted as exc:

@@ -17,9 +17,13 @@ zero buffer allocations.
 
 Scratch buffers hold *unspecified* data between calls; a kernel must
 fully overwrite a buffer before reading it (all users follow the
-write-then-consume discipline, single-threaded like the rest of the
-library).  Constant tables (``arange``, ``xor``, ``lower_mask``, packed
-indices) are read-only by convention.
+write-then-consume discipline).  The registry is **thread-local**: the
+analysis server (``repro/serve``) runs fixpoints on concurrent
+threads, and a shared scratch matrix raced between two closures of the
+same dimension corrupts both.  Each thread pays its own one-time
+allocation per dimension and then reuses its buffers freely.  Constant
+tables (``arange``, ``xor``, ``lower_mask``, packed indices) are
+read-only by convention.
 
 :func:`set_enabled`/:func:`disabled` switch the registry off (a fresh
 workspace per request), which restores the pre-PR allocation behaviour
@@ -28,6 +32,7 @@ for baseline measurements.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -182,18 +187,26 @@ class Workspace:
         return self._packed
 
 
-_REGISTRY: Dict[int, Workspace] = {}
+_LOCAL = threading.local()
+
+
+def _registry() -> Dict[int, Workspace]:
+    reg = getattr(_LOCAL, "registry", None)
+    if reg is None:
+        reg = _LOCAL.registry = {}
+    return reg
 
 
 def get_workspace(dim: int) -> Workspace:
-    """The shared workspace for ``dim`` (fresh per call when disabled)."""
+    """This thread's workspace for ``dim`` (fresh per call when disabled)."""
     global _HITS, _MISSES
     if not _ENABLED:
         return Workspace(dim)
-    ws = _REGISTRY.get(dim)
+    registry = _registry()
+    ws = registry.get(dim)
     if ws is None:
         ws = Workspace(dim)
-        _REGISTRY[dim] = ws
+        registry[dim] = ws
         _MISSES += 1
     else:
         _HITS += 1
@@ -201,5 +214,5 @@ def get_workspace(dim: int) -> Workspace:
 
 
 def clear() -> None:
-    """Drop every cached workspace (tests, memory pressure)."""
-    _REGISTRY.clear()
+    """Drop this thread's cached workspaces (tests, memory pressure)."""
+    _registry().clear()

@@ -1,0 +1,48 @@
+"""Per-procedure content hashing for incremental re-analysis.
+
+The batch service keys whole files (:meth:`AnalysisJob.key` hashes the
+raw source text), which is the right granularity for a batch: the file
+is the unit of submission.  The analysis *server* re-analyzes edited
+files, where the unit of change is one procedure -- so it needs a
+content address per procedure that is stable under edits elsewhere in
+the file.
+
+The address is the SHA-256 of the procedure's *canonical* source: the
+pretty-printer's rendering of its AST.  The pretty printer round-trips
+through the parser (pinned by the frontend tests), so the canonical
+form is a faithful identity, and because it is computed from the AST it
+is insensitive to whitespace, comment-free formatting differences and
+the textual position of the procedure in the file -- exactly the
+non-semantic edits an editor loop produces.  Any change to the
+procedure's statements changes the rendering and therefore the digest.
+
+The analyzer treats procedures independently (no interprocedural
+state), so a procedure's analysis result is a pure function of this
+canonical source plus the analyzer options -- the invariant that makes
+per-procedure caching sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .ast_nodes import Procedure
+from .pretty import pretty
+
+
+def procedure_source(proc: Procedure) -> str:
+    """The canonical (pretty-printed) source of one procedure.
+
+    Parsing the returned text yields a program with this single
+    procedure, identical AST -- so it is both a fingerprint input and a
+    valid standalone analysis job.
+    """
+    return pretty(proc) + "\n"
+
+
+def procedure_digest(proc: Procedure) -> str:
+    """SHA-256 of the canonical procedure source."""
+    return hashlib.sha256(procedure_source(proc).encode("utf-8")).hexdigest()
+
+
+__all__ = ["procedure_digest", "procedure_source"]

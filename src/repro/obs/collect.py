@@ -28,6 +28,7 @@ over the original ``core/stats.py`` implementation:
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -213,37 +214,50 @@ class StatsCollector:
         return metrics.REGISTRY.counter_summary(self.merged_counters())
 
 
-# The collector stack: ``_ACTIVE`` is the innermost (kept as its own
-# variable so the no-collector hot path stays one load + test).
-_ACTIVE: Optional[StatsCollector] = None
-_STACK: List[StatsCollector] = []
+# The collector stack, **per thread**: the analysis server runs one
+# ``collecting()`` block per request on concurrent handler threads, so
+# a process-global stack would interleave push/pop from different
+# requests (breaking nesting restoration) and cross-wire their
+# ``bump`` events.  ``active`` is kept as its own attribute so the
+# no-collector hot path stays one attribute load + test.
+_TLS = threading.local()
+
+
+def _stack() -> List[StatsCollector]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
 
 
 def active_collector() -> Optional[StatsCollector]:
-    """The collector currently receiving events, or None."""
-    return _ACTIVE
+    """The collector currently receiving events on this thread, or None."""
+    return getattr(_TLS, "active", None)
 
 
 @contextmanager
 def collecting() -> Iterator[StatsCollector]:
     """Install a fresh collector for the duration of the block.
 
-    Collectors nest: timings and closure records go to the innermost
-    collector only, while ``bump`` counters propagate to every
-    collector on the stack and global-source deltas are computed per
-    collector from its own installation snapshot -- so an outer
-    collector observes everything that happened inside inner blocks.
+    Collectors nest *per thread*: timings and closure records go to the
+    innermost collector only, while ``bump`` counters propagate to
+    every collector on this thread's stack and global-source deltas are
+    computed per collector from its own installation snapshot -- so an
+    outer collector observes everything that happened inside inner
+    blocks.  A collector never sees another thread's ``bump`` events;
+    global-source counters (module-global tallies like the COW clone
+    and workspace counts) remain process-wide, so their deltas can
+    still include concurrent threads' work.
     """
-    global _ACTIVE
-    previous = _ACTIVE
+    previous = getattr(_TLS, "active", None)
     collector = StatsCollector()
-    _STACK.append(collector)
-    _ACTIVE = collector
+    _stack().append(collector)
+    _TLS.active = collector
     try:
         yield collector
     finally:
-        _STACK.pop()
-        _ACTIVE = previous
+        _stack().pop()
+        _TLS.active = previous
         collector.freeze_counters()
 
 
@@ -255,7 +269,7 @@ def timed_op(name: str) -> Iterator[None]:
     ``op_seconds`` while ``op_self_seconds`` gets elapsed minus the
     children's elapsed, so decomposition sums are exact.
     """
-    collector = _ACTIVE
+    collector = getattr(_TLS, "active", None)
     if collector is None:
         yield
         return
@@ -274,28 +288,32 @@ def timed_op(name: str) -> Iterator[None]:
 
 
 def record_closure(n: int, kind: str, seconds: float, components: int = 1) -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.record_closure(ClosureRecord(n, kind, seconds, components))
+    active = getattr(_TLS, "active", None)
+    if active is not None:
+        active.record_closure(ClosureRecord(n, kind, seconds, components))
 
 
 def record_closure_input(matrix, blocks) -> None:
     """Capture a full-closure input (matrix copy + partition blocks)."""
-    if _ACTIVE is not None and _ACTIVE.capture_closure_inputs:
-        _ACTIVE.record_closure_input(matrix, blocks)
+    active = getattr(_TLS, "active", None)
+    if active is not None and active.capture_closure_inputs:
+        active.record_closure_input(matrix, blocks)
 
 
 def capturing_closure_inputs() -> bool:
     """True iff a collector wants full-closure inputs (callers can then
     skip the defensive matrix copy on the no-collector hot path)."""
-    return _ACTIVE is not None and _ACTIVE.capture_closure_inputs
+    active = getattr(_TLS, "active", None)
+    return active is not None and active.capture_closure_inputs
 
 
 def bump(name: str, amount: int = 1) -> None:
-    """Increment a named counter on every active collector (no-op
-    otherwise) -- inner collectors must not steal the outer's events."""
-    if _ACTIVE is None:
+    """Increment a named counter on every collector active on this
+    thread (no-op otherwise) -- inner collectors must not steal the
+    outer's events."""
+    if getattr(_TLS, "active", None) is None:
         return
-    for collector in _STACK:
+    for collector in _stack():
         collector.bump(name, amount)
 
 

@@ -1,0 +1,108 @@
+"""Thin client for the analysis server.
+
+:class:`ServeClient` wraps one socket connection in the request/
+response protocol; it is what ``python -m repro client`` and the tests
+use.  The client is deliberately dumb -- no retries, no pooling -- so
+its behaviour under failure is the protocol's behaviour, not a policy
+layered on top.
+
+:func:`wait_ready` polls until a freshly spawned daemon accepts
+connections; CI and the tests use it instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from .protocol import ProtocolError, recv_message, send_message
+from .server import default_socket_path
+
+
+class ServeError(RuntimeError):
+    """The server answered with ``ok: false``."""
+
+
+class ServeClient:
+    """One connection to a running analysis server."""
+
+    def __init__(self, socket_path: Optional[str] = None, *,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout: Optional[float] = 60.0) -> None:
+        if port is not None:
+            self.address = (host, int(port))
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        else:
+            self.address = (socket_path if socket_path is not None
+                            else default_socket_path())
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.address)
+
+    # -- plumbing ------------------------------------------------------
+    def request(self, message: dict) -> dict:
+        """One round trip; raises :class:`ServeError` on ``ok: false``."""
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- commands ------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"cmd": "ping"})
+
+    def analyze(self, source: str, *, label: str = "",
+                options: Optional[dict] = None) -> dict:
+        message = {"cmd": "analyze", "source": source, "label": label}
+        if options:
+            message["options"] = dict(options)
+        return self.request(message)
+
+    def status(self) -> dict:
+        return self.request({"cmd": "status"})
+
+    def stats(self) -> dict:
+        return self.request({"cmd": "stats"})
+
+    def metrics(self) -> str:
+        return self.request({"cmd": "metrics"})["prometheus"]
+
+    def shutdown(self) -> dict:
+        return self.request({"cmd": "shutdown"})
+
+
+def wait_ready(socket_path: Optional[str] = None, *,
+               host: str = "127.0.0.1", port: Optional[int] = None,
+               timeout: float = 10.0) -> None:
+    """Block until the server answers a ping (or raise ``TimeoutError``)."""
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(socket_path, host=host, port=port,
+                             timeout=2.0) as client:
+                client.ping()
+            return
+        except (OSError, ProtocolError, ServeError) as exc:
+            last = exc
+            time.sleep(0.05)
+    raise TimeoutError(f"server not ready after {timeout}s: {last}")
+
+
+__all__ = ["ServeClient", "ServeError", "wait_ready"]

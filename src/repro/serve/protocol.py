@@ -1,0 +1,101 @@
+"""Wire protocol of the analysis server: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The prefix makes message boundaries explicit (no
+sentinel scanning, binary-safe) and lets the receiver reject oversized
+frames before allocating; JSON keeps the protocol inspectable with
+``socat`` and trivially implementable from any language.
+
+Requests are objects with a ``cmd`` field (``ping``, ``analyze``,
+``status``, ``stats``, ``metrics``, ``shutdown``); responses are
+objects with an ``ok`` boolean (plus ``error`` text when false).  The
+connection is strictly request/response: the client writes one frame,
+reads one frame, and may repeat -- connections are cheap but reusable.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+#: Frame header: unsigned 32-bit big-endian body length.
+_HEADER = struct.Struct("!I")
+
+#: Hard ceiling on one frame's body.  Large enough for any suite
+#: program plus its full result document, small enough that a corrupt
+#: or malicious length prefix cannot ask the peer to allocate gigabytes.
+MAX_MESSAGE = 64 * 1024 * 1024
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed, truncated or oversized frame."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary.
+
+    EOF *inside* a frame is a :class:`ProtocolError` -- the peer died
+    mid-message, which the caller must not mistake for a clean close.
+    """
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: dict) -> int:
+    """Frame and send one JSON message; returns bytes written."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE:
+        raise ProtocolError(f"message of {len(body)} bytes exceeds "
+                            f"MAX_MESSAGE ({MAX_MESSAGE})")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+    return _HEADER.size + len(body)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Receive one framed JSON message; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE:
+        raise ProtocolError(f"frame of {length} bytes exceeds "
+                            f"MAX_MESSAGE ({MAX_MESSAGE})")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body is {type(message).__name__}, "
+                            f"expected object")
+    return message
+
+
+def error_response(message: str) -> dict:
+    return {"ok": False, "error": str(message)}
+
+
+__all__ = [
+    "MAX_MESSAGE",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "error_response",
+    "recv_message",
+    "send_message",
+]

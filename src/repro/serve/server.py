@@ -1,0 +1,338 @@
+"""The analysis daemon: accept loop, request handlers, SLO surface.
+
+One :class:`AnalysisServer` owns a listening socket (Unix-domain by
+default, TCP with ``port=``), an :class:`IncrementalAnalyzer` shared by
+every connection, and the observability state that makes the daemon
+operable: request/latency/cache-tier counters, per-request spans, and
+a Prometheus rendering of the lot.
+
+Concurrency model: thread-per-connection (connections are long-lived
+and mostly idle between frames) with a :class:`threading.Semaphore`
+bounding how many *requests* execute simultaneously -- the accept loop
+never blocks on analysis, and a slow client cannot starve the daemon.
+Handler threads are daemons, so a signal that stops the accept loop
+stops the process without waiting on stuck peers; the shutdown path
+unlinks the socket file and sweeps orphaned shared-memory segments, so
+a SIGTERM mid-request leaves nothing behind (pinned by the chaos
+tests).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from .. import __version__
+from ..core import kernels
+from ..core.serialize import job_result_to_dict
+from ..errors import AnalysisInterrupted
+from ..frontend.parser import ParseError
+from ..obs import events, metrics, trace
+from ..service import transport
+from ..service.cache import ResultCache, default_cache_root
+from .incremental import IncrementalAnalyzer
+from .protocol import (
+    PROTOCOL_VERSION, ProtocolError, error_response, recv_message,
+    send_message,
+)
+
+metrics.REGISTRY.counter("serve_requests", "Requests the server handled")
+metrics.REGISTRY.counter("serve_errors",
+                         "Requests that produced an error response")
+metrics.REGISTRY.histogram("serve_request_seconds",
+                           "Wall seconds per server request",
+                           buckets=metrics.LATENCY_BUCKETS, label="cmd")
+
+#: Default socket filename under the cache root.
+SOCKET_NAME = "serve.sock"
+
+COMMANDS = ("ping", "analyze", "status", "stats", "metrics", "shutdown")
+
+
+def default_socket_path() -> str:
+    return os.path.join(default_cache_root(), SOCKET_NAME)
+
+
+class AnalysisServer:
+    """A long-lived analysis daemon over one listening socket."""
+
+    def __init__(self, socket_path: Optional[str] = None, *,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 workers: int = 4, cache: Optional[ResultCache] = None,
+                 cache_dir: Optional[str] = None, use_cache: bool = True,
+                 lru_procedures: int = 1024, lru_programs: int = 64) -> None:
+        self.tcp = port is not None
+        self.host = host
+        self.port = port
+        self.socket_path = (socket_path if socket_path is not None
+                            else default_socket_path()) if not self.tcp else None
+        if cache is None and use_cache:
+            cache = ResultCache(cache_dir)
+        self.cache = cache
+        self.analyzer = IncrementalAnalyzer(
+            cache, lru_procedures=lru_procedures, lru_programs=lru_programs)
+        self.workers = max(1, int(workers))
+        self._request_gate = threading.Semaphore(self.workers)
+        self._listener: Optional[socket.socket] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self.started_at: Optional[float] = None
+        self.requests = 0
+        self.errors = 0
+        self.connections = 0
+        self.by_cmd: Dict[str, int] = {}
+        self._latency: Dict[str, metrics.HistogramData] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> str:
+        """Bind and listen; returns a printable address."""
+        if self.tcp:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+            address = f"tcp://{self.host}:{self.port}"
+        else:
+            os.makedirs(os.path.dirname(self.socket_path) or ".",
+                        exist_ok=True)
+            self._clear_stale_socket()
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+            address = f"unix://{self.socket_path}"
+        listener.listen(64)
+        # A finite accept timeout so the loop re-checks the stopping
+        # flag: close() alone does not wake a thread blocked in accept().
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.started_at = time.monotonic()
+        events.info("serve_listening", address=address,
+                    workers=self.workers)
+        return address
+
+    def _clear_stale_socket(self) -> None:
+        """Unlink a leftover socket file iff nothing is serving on it."""
+        if not os.path.exists(self.socket_path):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(0.5)
+            probe.connect(self.socket_path)
+        except OSError:
+            os.unlink(self.socket_path)  # stale: a dead server left it
+        else:
+            raise RuntimeError(
+                f"another server is live on {self.socket_path}")
+        finally:
+            probe.close()
+
+    def stop(self, reason: str = "requested") -> None:
+        """Stop the accept loop (idempotent, callable from any thread)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        events.info("serve_stopping", reason=reason)
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger the same clean shutdown path."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum,
+                          lambda sig, frame: self.stop(f"signal {sig}"))
+
+    def serve_forever(self) -> None:
+        """Accept until :meth:`stop`; always leaves no socket/shm litter."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue  # periodic stopping-flag check
+                except OSError:
+                    break  # listener closed by stop()
+                with self._lock:
+                    self.connections += 1
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True)
+                thread.start()
+        finally:
+            self.stop("serve_forever exit")
+            if self.socket_path is not None:
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+            transport.sweep_orphans()
+            events.info("serve_stopped", requests=self.requests)
+
+    # -- connections ---------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(None)  # idle clients may hold connections open
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = recv_message(conn)
+                except ProtocolError as exc:
+                    send_message(conn, error_response(str(exc)))
+                    return
+                if request is None:
+                    return  # clean EOF
+                with self._request_gate:
+                    response = self._dispatch(request)
+                send_message(conn, response)
+                if response.get("stopping"):
+                    self.stop("shutdown command")
+                    return
+        except OSError:
+            pass  # peer vanished; nothing to clean up
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, request: dict) -> dict:
+        cmd = request.get("cmd")
+        start = time.perf_counter()
+        if cmd not in COMMANDS:
+            response = error_response(
+                f"unknown command {cmd!r} (have: {', '.join(COMMANDS)})")
+        else:
+            with trace.span("serve_request", cmd=cmd):
+                try:
+                    response = getattr(self, f"_cmd_{cmd}")(request)
+                except Exception as exc:  # noqa: BLE001 -- daemon must survive
+                    response = error_response(
+                        f"{type(exc).__name__}: {exc}")
+        elapsed = time.perf_counter() - start
+        self._account(cmd if cmd in COMMANDS else "unknown",
+                      elapsed, ok=bool(response.get("ok")))
+        return response
+
+    def _account(self, cmd: str, elapsed: float, *, ok: bool) -> None:
+        key = metrics.histogram_key("serve_request_seconds", cmd)
+        with self._lock:
+            self.requests += 1
+            self.by_cmd[cmd] = self.by_cmd.get(cmd, 0) + 1
+            if not ok:
+                self.errors += 1
+            data = self._latency.get(key)
+            if data is None:
+                data = metrics.HistogramData(
+                    "serve_request_seconds", metrics.LATENCY_BUCKETS, cmd)
+                self._latency[key] = data
+            data.observe(elapsed)
+
+    # -- command handlers ----------------------------------------------
+    def _cmd_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True, "pid": os.getpid()}
+
+    def _cmd_analyze(self, request: dict) -> dict:
+        source = request.get("source")
+        if not isinstance(source, str):
+            return error_response("analyze needs a string 'source' field")
+        label = str(request.get("label", ""))
+        start = time.perf_counter()
+        try:
+            result, info = self.analyzer.analyze(
+                source, label=label, options=request.get("options"))
+        except (ParseError, ValueError) as exc:
+            return error_response(str(exc))
+        except AnalysisInterrupted as exc:
+            return error_response(f"analysis interrupted: {exc}")
+        wall = time.perf_counter() - start
+        return {
+            "ok": True,
+            "result": job_result_to_dict(result),
+            "tiers": info["tiers"],
+            "procedures": info["procedures"],
+            "request_seconds": wall,
+        }
+
+    def _config(self) -> dict:
+        """The resolved configuration ``status`` and the CLI both print."""
+        return {
+            "kernel_backend": kernels.resolve(None),
+            "cache_dir": (str(self.cache.root)
+                          if self.cache is not None else None),
+        }
+
+    def _cmd_status(self, request: dict) -> dict:
+        uptime = (time.monotonic() - self.started_at
+                  if self.started_at is not None else 0.0)
+        address = (f"tcp://{self.host}:{self.port}" if self.tcp
+                   else f"unix://{self.socket_path}")
+        with self._lock:
+            requests, connections = self.requests, self.connections
+        response = {
+            "ok": True,
+            "pid": os.getpid(),
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "address": address,
+            "workers": self.workers,
+            "uptime_seconds": uptime,
+            "requests": requests,
+            "connections": connections,
+        }
+        response.update(self._config())
+        return response
+
+    def _counter_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            counters = {"serve_requests": self.requests,
+                        "serve_errors": self.errors,
+                        "serve_connections": self.connections}
+            counters.update({f"serve_requests_{cmd}": count
+                             for cmd, count in sorted(self.by_cmd.items())})
+        counters.update(self.analyzer.counter_summary())
+        return counters
+
+    def _cmd_stats(self, request: dict) -> dict:
+        with self._lock:
+            latency = {key: data.to_dict()
+                       for key, data in self._latency.items()}
+        return {
+            "ok": True,
+            "counters": self._counter_snapshot(),
+            "latency": latency,
+            "uptime_seconds": (time.monotonic() - self.started_at
+                               if self.started_at is not None else 0.0),
+        }
+
+    def _cmd_metrics(self, request: dict) -> dict:
+        counters = self._counter_snapshot()
+        with self._lock:
+            histograms = dict(self._latency)
+        return {"ok": True,
+                "prometheus": metrics.prometheus_text(counters, histograms)}
+
+    def _cmd_shutdown(self, request: dict) -> dict:
+        return {"ok": True, "stopping": True, "pid": os.getpid()}
+
+
+def run_server(args_socket: Optional[str] = None, **kwargs) -> None:
+    """Convenience wrapper: build, arm signals, announce, serve."""
+    server = AnalysisServer(args_socket, **kwargs)
+    server.install_signal_handlers()
+    address = server.start()
+    print(f"repro serve: listening on {address} "
+          f"(workers={server.workers}, pid={os.getpid()})", flush=True)
+    server.serve_forever()
+
+
+__all__ = ["AnalysisServer", "COMMANDS", "default_socket_path", "run_server"]

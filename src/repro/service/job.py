@@ -74,6 +74,24 @@ class AnalysisJob:
 
         return kernels.resolve(self.kernel_backend)
 
+    @classmethod
+    def for_procedure(cls, proc, **options) -> "AnalysisJob":
+        """A single-procedure job keyed by *canonical* source.
+
+        The source is the pretty-printer's rendering of the procedure
+        AST (:func:`repro.frontend.fingerprint.procedure_source`), so
+        the job's :meth:`key` is a per-procedure content address:
+        stable under formatting changes and edits to *other* procedures
+        in the same file.  This is the cache granularity the analysis
+        server works at -- the analyzer treats procedures
+        independently, so the result of this job is bit-identical to
+        the procedure's slice of a whole-file analysis.
+        """
+        from ..frontend.fingerprint import procedure_source
+
+        options.setdefault("label", proc.name)
+        return cls(source=procedure_source(proc), **options)
+
     def options(self) -> Dict[str, object]:
         """The analyzer options in normalised (JSON-stable) form.
 

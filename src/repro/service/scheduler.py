@@ -151,10 +151,20 @@ def _context():
     return multiprocessing.get_context()
 
 
-def _worker_main(conn, worker: Callable[[AnalysisJob], JobResult],
-                 job: AnalysisJob) -> None:
-    """Child-process entry: run the job, ship the outcome, exit."""
+def _worker_main(job_conn, conn,
+                 worker: Callable[[AnalysisJob], JobResult]) -> None:
+    """Child-process entry: receive the job, run it, ship the outcome.
+
+    The job arrives over its own pipe through the transport envelope
+    (large source text rides the zero-copy lanes) instead of being
+    pickled into the ``Process`` args -- submission and results share
+    one wire format whatever the start method.
+    """
     try:
+        try:
+            job = transport.recv_job(job_conn)
+        finally:
+            job_conn.close()
         result = worker(job)
         transport.send_payload(conn, ("ok", result))
     except BaseException:
@@ -347,13 +357,23 @@ def _run_pool(jobs, pending, results, *, workers, timeout, retries, cache,
 
     def launch(idx: int, attempt: int) -> None:
         recv_conn, send_conn = ctx.Pipe(duplex=False)
+        job_recv, job_send = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_worker_main,
-                           args=(send_conn, worker, jobs[idx]), daemon=True)
+                           args=(job_recv, send_conn, worker), daemon=True)
         events.debug("job_start", label=jobs[idx].label, attempt=attempt)
         proc.start()
         send_conn.close()
+        job_recv.close()
         deadline = None if timeout is None else time.monotonic() + timeout
         running[recv_conn] = _Running(proc, idx, attempt, deadline)
+        try:
+            transport.send_job(job_send, jobs[idx], worker_pid=proc.pid)
+        except (BrokenPipeError, OSError):
+            # The worker died before reading its job; the sentinel path
+            # reaps it and applies the normal retry policy.
+            pass
+        finally:
+            job_send.close()
 
     def reap(conn, entry: _Running, result: JobResult) -> None:
         entry.proc.join()

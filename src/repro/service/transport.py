@@ -47,6 +47,7 @@ protocol (a created block that is never attached is a leak candidate).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import re
@@ -63,7 +64,12 @@ SHM_PREFIX = "repro_shm"
 #: syscalls to unlink) costs more than one memcpy through the pipe.
 SHM_THRESHOLD = 64 * 1024
 
-_SEG_RE = re.compile(rf"^{SHM_PREFIX}_(\d+)_(\d+)$")
+#: Job source size (bytes) at which submission wraps the text in a
+#: :class:`_Blob` so it rides the out-of-band buffer lanes instead of
+#: the pickle body.  Below this the wrapper costs more than it saves.
+JOB_BLOB_THRESHOLD = 4 * 1024
+
+_SEG_RE = re.compile(rf"^{SHM_PREFIX}_(\d+)_(\d+)(?:_job)?$")
 
 #: Process-wide ablation switch (bench): False forces the inline lane.
 #: Module global so a ``fork`` start method propagates it to workers.
@@ -79,6 +85,11 @@ _COUNTS: Dict[str, int] = {
     "shm_blocks_created": 0,
     "shm_blocks_attached": 0,
     "shm_blocks_swept": 0,
+    # Submission (parent -> worker) lane, counted on the parent where
+    # the batch summary lives -- the worker's own counters die with it.
+    "job_bytes_shipped": 0,
+    "job_bytes_zero_copy": 0,
+    "job_shm_blocks_created": 0,
 }
 
 metrics.register_counter_source(lambda: dict(_COUNTS))
@@ -93,6 +104,14 @@ metrics.REGISTRY.counter(
     "shm_blocks_attached", "Shared-memory result segments attached and consumed")
 metrics.REGISTRY.counter(
     "shm_blocks_swept", "Orphaned shared-memory segments removed by janitors")
+metrics.REGISTRY.counter(
+    "job_bytes_shipped", "Bytes that crossed a job submission pipe")
+metrics.REGISTRY.counter(
+    "job_bytes_zero_copy",
+    "Job submission bytes moved through shared memory instead of the pipe")
+metrics.REGISTRY.counter(
+    "job_shm_blocks_created",
+    "Shared-memory submission segments created for workers")
 
 
 def set_zero_copy(flag: bool) -> None:
@@ -112,6 +131,17 @@ def transport_counters() -> Dict[str, int]:
 
 def segment_name(parent_pid: int, worker_pid: int) -> str:
     return f"{SHM_PREFIX}_{parent_pid}_{worker_pid}"
+
+
+def job_segment_name(parent_pid: int, worker_pid: int) -> str:
+    """Submission-lane segment for one worker.
+
+    Distinct from :func:`segment_name` because the two lanes can be in
+    flight at once for the same (parent, worker) pair: the parent ships
+    the job while the previous attempt's result segment may still be
+    unreaped after a crash.
+    """
+    return f"{SHM_PREFIX}_{parent_pid}_{worker_pid}_job"
 
 
 #: Segments whose mapping could not be closed yet because a consumer
@@ -174,17 +204,53 @@ class ShmArena:
             pass
 
 
+class _Blob:
+    """Protocol-5 wrapper routing a ``bytes`` payload out-of-band.
+
+    Plain ``bytes``/``str`` always pickle *in-band* (only objects
+    exposing the buffer protocol through ``PickleBuffer`` go
+    out-of-band), so a large job source would ride the pickle body no
+    matter what lane the envelope picks.  Wrapping it in a ``_Blob``
+    hands the bytes to the buffer lanes: over shared memory the text is
+    written once by the sender and materialised once by the receiver.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data) -> None:
+        self._data = data
+
+    def bytes(self) -> bytes:
+        data = self._data
+        return data if isinstance(data, bytes) else bytes(data)
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            return (_Blob, (pickle.PickleBuffer(self._data),))
+        return (_Blob, (self.bytes(),))
+
+
 # ----------------------------------------------------------------------
-# worker side
+# sender side (worker results, parent job submissions)
 # ----------------------------------------------------------------------
-def send_payload(conn, payload: object) -> None:
-    """Ship ``payload`` to the parent: protocol-5 body + buffer lanes."""
+def send_payload(conn, payload: object, *, segment: Optional[str] = None,
+                 count_prefix: Optional[str] = None) -> None:
+    """Ship ``payload`` over ``conn``: protocol-5 body + buffer lanes.
+
+    ``segment`` names the shared-memory segment should the zero-copy
+    lane engage; the default is the worker-result name
+    ``repro_shm_<parent pid>_<own pid>``.  With ``count_prefix`` the
+    *sender* bumps ``<prefix>bytes_shipped``/``<prefix>bytes_zero_copy``
+    /``<prefix>shm_blocks_created`` -- used by the submission lane,
+    whose receiver (the worker) cannot report counters back.
+    """
     buffers: List[pickle.PickleBuffer] = []
     body = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
     raws = [buf.raw() for buf in buffers]
     total = sum(raw.nbytes for raw in raws)
     if _ZERO_COPY and 0 < total and total >= SHM_THRESHOLD:
-        name = segment_name(os.getppid(), os.getpid())
+        name = (segment if segment is not None
+                else segment_name(os.getppid(), os.getpid()))
         try:
             seg = shared_memory.SharedMemory(name=name, create=True,
                                              size=total)
@@ -207,16 +273,20 @@ def send_payload(conn, payload: object) -> None:
             for buf in buffers:
                 buf.release()
             try:
-                conn.send_bytes(pickle.dumps(("shm", name, lengths, body),
-                                             protocol=5))
+                wire = pickle.dumps(("shm", name, lengths, body), protocol=5)
+                conn.send_bytes(wire)
             except BaseException:
-                # The parent will never attach; reclaim the name now.
+                # The receiver will never attach; reclaim the name now.
                 # Low-level unlink: ``seg.unlink()`` would also send the
                 # tracker an unregister for a name we already unregistered.
                 _raw_unlink(seg._name)
                 raise
             finally:
                 seg.close()
+            if count_prefix is not None:
+                _COUNTS[count_prefix + "bytes_shipped"] += len(wire)
+                _COUNTS[count_prefix + "bytes_zero_copy"] += total
+                _COUNTS[count_prefix + "shm_blocks_created"] += 1
             return
     # The envelope itself must pickle, and memoryviews do not: the
     # inline lane materialises each buffer once (the copy the shm lane
@@ -226,40 +296,83 @@ def send_payload(conn, payload: object) -> None:
     for buf in buffers:
         buf.release()
     conn.send_bytes(envelope)
+    if count_prefix is not None:
+        _COUNTS[count_prefix + "bytes_shipped"] += len(envelope)
+
+
+def send_job(conn, job, *, worker_pid: int,
+             parent_pid: Optional[int] = None) -> None:
+    """Submit ``job`` to a worker over its job pipe (parent side).
+
+    Large source text is wrapped in a :class:`_Blob` so submission
+    shares the zero-copy buffer lanes with results; the segment name is
+    the ``_job``-suffixed twin of the result segment, keyed on the
+    *submitting* process (which under a ``spawn`` start method is not
+    the worker's ``getppid`` view of the world -- hence explicit pids).
+    """
+    payload: object = ("plain", job)
+    source = getattr(job, "source", None)
+    if isinstance(source, str) and len(source) >= JOB_BLOB_THRESHOLD:
+        stripped = dataclasses.replace(job, source="")
+        payload = ("src-blob", stripped, _Blob(source.encode("utf-8")))
+    send_payload(conn, payload,
+                 segment=job_segment_name(parent_pid or os.getpid(),
+                                          worker_pid),
+                 count_prefix="job_")
+
+
+def recv_job(conn):
+    """Receive one submitted job (worker side of the job pipe)."""
+    payload, arena = recv_payload(conn, count=False)
+    try:
+        if payload[0] == "src-blob":
+            _, job, blob = payload
+            return dataclasses.replace(job,
+                                       source=blob.bytes().decode("utf-8"))
+        return payload[1]
+    finally:
+        if arena is not None:
+            arena.release()
 
 
 # ----------------------------------------------------------------------
-# parent side
+# receiver side
 # ----------------------------------------------------------------------
-def recv_payload(conn) -> Tuple[object, Optional[ShmArena]]:
-    """Receive one worker envelope; returns ``(payload, arena)``.
+def recv_payload(conn, *, count: bool = True) -> Tuple[object, Optional[ShmArena]]:
+    """Receive one envelope; returns ``(payload, arena)``.
 
     ``arena`` is ``None`` on the inline lane.  On the shared-memory
     lane the segment is unlinked *before* this function returns (step 2
     of the lifetime protocol); the returned arena is the only thing
-    keeping the payload's buffers mapped.
+    keeping the payload's buffers mapped.  ``count=False`` skips the
+    receive-side counters -- the submission lane counts on the sender,
+    where the batch summary lives.
     """
     _retry_deferred_close()
     wire = conn.recv_bytes()
-    _COUNTS["bytes_shipped"] += len(wire)
+    if count:
+        _COUNTS["bytes_shipped"] += len(wire)
     envelope = pickle.loads(wire)
     if envelope[0] == "inline":
         _, body, raws = envelope
         return pickle.loads(body, buffers=raws), None
     _, name, lengths, body = envelope
-    _COUNTS["shm_blocks_created"] += 1
+    if count:
+        _COUNTS["shm_blocks_created"] += 1
     # Attaching registers the segment with this process's resource
     # tracker (CPython registers on attach, not only on create); the
     # unlink below sends the matching unregister, so no extra tracker
     # bookkeeping is needed here.
     seg = shared_memory.SharedMemory(name=name)
-    _COUNTS["shm_blocks_attached"] += 1
+    if count:
+        _COUNTS["shm_blocks_attached"] += 1
     views: List[memoryview] = []
     offset = 0
     for length in lengths:
         views.append(seg.buf[offset:offset + length])
         offset += length
-        _COUNTS["bytes_zero_copy"] += length
+        if count:
+            _COUNTS["bytes_zero_copy"] += length
     payload = pickle.loads(body, buffers=views)
     # Unlink immediately: the attached mapping (held by the arena)
     # survives; the *name* can no longer leak whatever happens next.
@@ -305,12 +418,15 @@ def sweep_worker(worker_pid: Optional[int],
 
     Called by the scheduler whenever a worker dies without delivering a
     result (kill, timeout, crash): the worker may have created its
-    segment and been killed inside the send window.
+    result segment and been killed inside the send window, or died
+    before attaching the submission segment the parent created for it.
     """
     if worker_pid is None:
         return False
-    return _unlink_segment(
-        segment_name(parent_pid or os.getpid(), worker_pid))
+    parent = parent_pid or os.getpid()
+    swept = _unlink_segment(segment_name(parent, worker_pid))
+    swept = _unlink_segment(job_segment_name(parent, worker_pid)) or swept
+    return swept
 
 
 def _pid_alive(pid: int) -> bool:

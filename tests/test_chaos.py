@@ -243,3 +243,69 @@ class TestSigkillResume:
         assert clean.returncode == 0, clean.stderr
 
         assert self._verdicts(resumed_report) == self._verdicts(clean_report)
+
+
+class TestServeSigterm:
+    """SIGTERM against the analysis daemon: no socket file, no shm."""
+
+    def _spawn_server(self, tmp_path):
+        sock = tmp_path / "serve.sock"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", str(sock)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env)
+        try:
+            from repro.serve.client import wait_ready
+
+            wait_ready(str(sock), timeout=30)
+        except Exception:
+            proc.kill()
+            proc.wait()
+            raise
+        return proc, sock
+
+    def test_sigterm_mid_request_cleans_socket_and_shm(self, tmp_path):
+        import socket as socketlib
+
+        proc, sock = self._spawn_server(tmp_path)
+        conn = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        try:
+            conn.connect(str(sock))
+            # Half a frame: the handler thread is now blocked mid-read,
+            # which is as mid-request as a kill can land.
+            conn.sendall((64).to_bytes(4, "big") + b"partial")
+            os.kill(proc.pid, signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            conn.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert not sock.exists()  # no stale socket file
+        assert _shm_entries() == []  # no leaked segments
+
+    def test_restart_reclaims_stale_socket_file(self, tmp_path):
+        """A crashed server's leftover socket file must not block the
+        next start (the stale-probe path), but a *live* server must."""
+        proc, sock = self._spawn_server(tmp_path)
+        try:
+            # Second server on the same path: refused while live.
+            env = dict(os.environ)
+            env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+            dup = subprocess.run(
+                [sys.executable, "-m", "repro", "serve",
+                 "--socket", str(sock)],
+                capture_output=True, text=True, timeout=60, env=env)
+            assert dup.returncode == 2
+            assert "another server is live" in dup.stderr
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)  # crash: no cleanup runs
+            proc.wait()
+        assert sock.exists()  # SIGKILL left the stale file behind
+        proc2, sock2 = self._spawn_server(tmp_path)  # reclaims it
+        os.kill(proc2.pid, signal.SIGTERM)
+        assert proc2.wait(timeout=30) == 0
+        assert not sock2.exists()

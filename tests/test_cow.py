@@ -131,6 +131,36 @@ class TestWorkspaceReuse:
         assert observe(o2.copy()) == ref2
 
 
+class TestWorkspaceThreadIsolation:
+    def test_each_thread_gets_its_own_scratch(self):
+        # The analysis server closes matrices on concurrent threads; a
+        # scratch matrix shared across threads races (two ufuncs with
+        # the same ``out=``) and corrupts both closures.
+        import threading
+
+        buffers = {}
+
+        def grab(slot):
+            buffers[slot] = workspace.get_workspace(6).scratch
+
+        threads = [threading.Thread(target=grab, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        grab(3)  # main thread too
+        ids = {id(buf) for buf in buffers.values()}
+        assert len(ids) == 4, "scratch buffers shared across threads"
+
+    def test_same_thread_still_reuses(self):
+        workspace.clear()
+        with stats.collecting() as collector:
+            first = workspace.get_workspace(8).scratch
+            second = workspace.get_workspace(8).scratch
+        assert first is second
+        assert collector.counter_summary().get("workspace_hits", 0) >= 1
+
+
 class TestClosureCache:
     def test_alias_closure_runs_no_kernel(self):
         o = Octagon.from_constraints(

@@ -209,3 +209,72 @@ class TestBatchTransport:
         counters = batch.counters()
         assert counters["bytes_shipped"] == batch.transport["bytes_shipped"]
         assert "bytes_zero_copy" in counters
+
+
+class TestJobSubmissionLane:
+    """Job submission rides the same envelope as results (ISSUE 7)."""
+
+    def test_blob_round_trips_out_of_band(self):
+        blob_in = transport._Blob(b"x" * 100)
+        payload, arena = _round_trip(("job", blob_in))
+        assert payload[1].bytes() == b"x" * 100
+        assert arena is None  # 100 B stays inline, but still out-of-band
+
+    def test_small_job_ships_inline_with_counter(self):
+        jobs = [AnalysisJob(source=SOURCES["a"], label="small"),
+                AnalysisJob(source=SOURCES["b"], label="small2")]
+        before = transport.transport_counters()
+        batch = run_batch(jobs, workers=2)
+        after = transport.transport_counters()
+        assert batch.all_ok
+        assert after["job_bytes_shipped"] > before["job_bytes_shipped"]
+        assert after["job_shm_blocks_created"] \
+            == before["job_shm_blocks_created"]
+
+    def test_large_job_source_rides_zero_copy(self):
+        """The ISSUE counter assert: a large submitted source moves
+        through shared memory, not the pipe, and leaks nothing."""
+        # Padding is semantically inert (the lexer skips whitespace) but
+        # counts for transport: the job is big, the analysis is tiny.
+        pad = " " * (2 * transport.SHM_THRESHOLD)
+        source = SOURCES["c"] + "\n" + pad
+        jobs = [AnalysisJob(source=source, label="big"),
+                AnalysisJob(source=SOURCES["b"], label="small")]
+        before = transport.transport_counters()
+        batch = run_batch(jobs, workers=2)
+        after = transport.transport_counters()
+        assert batch.all_ok
+        delta_zero_copy = (after["job_bytes_zero_copy"]
+                           - before["job_bytes_zero_copy"])
+        delta_shipped = (after["job_bytes_shipped"]
+                         - before["job_bytes_shipped"])
+        assert after["job_shm_blocks_created"] \
+            >= before["job_shm_blocks_created"] + 1
+        assert delta_zero_copy >= len(pad)
+        # The pipe carried only the envelope + stripped job, not the text.
+        assert delta_shipped < len(source)
+        assert _shm_entries() == []
+
+    def test_submission_matches_inline_verdicts(self):
+        pad = " " * (2 * transport.SHM_THRESHOLD)
+        jobs = [AnalysisJob(source=src + "\n" + pad, label=label)
+                for label, src in sorted(SOURCES.items())]
+        inline = run_batch(jobs, workers=1)
+        pooled = run_batch(jobs, workers=2)
+        assert [r.verdicts() for r in pooled.results] \
+            == [r.verdicts() for r in inline.results]
+        assert pooled.outcome_counts() == {"ok": 3}
+        assert _shm_entries() == []
+
+    def test_sweep_worker_reclaims_job_segment(self):
+        from multiprocessing import resource_tracker, shared_memory
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no POSIX shm directory on this platform")
+        seg = shared_memory.SharedMemory(
+            name=transport.job_segment_name(os.getpid(), 999_999),
+            create=True, size=64)
+        resource_tracker.unregister(seg._name, "shared_memory")
+        seg.close()
+        assert transport.sweep_worker(999_999) is True
+        assert _shm_entries() == []
