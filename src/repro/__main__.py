@@ -25,6 +25,7 @@ import argparse
 import sys
 
 from .analysis import Analyzer
+from .core import stats
 from .core.bounds import INF
 from .obs import events
 
@@ -81,6 +82,7 @@ def cmd_analyze(args) -> int:
     analyzer = Analyzer(domain=args.domain,
                         widening_delay=args.widening_delay,
                         compile_transfer=not args.no_compile,
+                        sparse_threshold=args.sparse_threshold,
                         **_budget_kwargs(args))
     ctx = _run_context(args)
     result = analyzer.analyze(source,
@@ -130,6 +132,7 @@ def _analyze_many(args) -> int:
                            widening_delay=args.widening_delay,
                            compile_transfer=not args.no_compile,
                            kernel_backend=args.kernel_backend,
+                           sparse_threshold=args.sparse_threshold,
                            telemetry=_telemetry(args),
                            **_budget_kwargs(args))
     batch = run_batch(jobs, workers=args.jobs)
@@ -186,6 +189,42 @@ def _finish_batch_run(args, batch) -> None:
     )
 
 
+def _batch_cross_validate(args, jobs) -> int:
+    """``batch --cross-validate``: dense vs sparse differential run."""
+    import json as _json
+
+    from .service.validate import cross_validate
+
+    report = cross_validate(jobs, sparse_threshold=args.sparse_threshold)
+    width = max((len(p.label) for p in report.programs), default=0)
+    print(f"{'program':{width}s}  {'ok':>2s}  {'sparsity':>8s}  "
+          f"{'cells d/s':>18s}  {'ratio':>6s}  {'peakB d/s':>18s}  "
+          f"{'ratio':>6s}")
+    for prog in report.programs:
+        sp = prog.sparsity
+        cr, br = prog.cell_ratio(), prog.peak_bytes_ratio()
+        cd = prog.dense.counters.get("closure_cells", 0)
+        cs = prog.sparse.counters.get("closure_cells", 0)
+        pd = prog.dense.counters.get("dbm_peak_bytes", 0)
+        ps = prog.sparse.counters.get("dbm_peak_bytes", 0)
+        print(f"{prog.label:{width}s}  {'ok' if prog.ok else 'XX':>2s}  "
+              f"{sp if sp is not None else float('nan'):8.3f}  "
+              f"{cd:>8d}/{cs:<9d}  "
+              f"{cr if cr is not None else float('nan'):5.1f}x  "
+              f"{pd:>8d}/{ps:<9d}  "
+              f"{br if br is not None else float('nan'):5.1f}x")
+        for mismatch in prog.mismatches:
+            print(f"  MISMATCH {mismatch}")
+    n_bad = len(report.failures)
+    print(f"cross-validate: {len(report.programs)} program(s), "
+          f"{n_bad} mismatch(es)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if n_bad else 0
+
+
 def cmd_batch(args) -> int:
     """Batch front door: files (or the suite) through the service."""
     from .service import BatchJournal, ResultCache, run_batch, suite_jobs
@@ -200,18 +239,23 @@ def cmd_batch(args) -> int:
         jobs = suite_jobs(args.scale, domain=args.domain,
                           compile_transfer=not args.no_compile,
                           kernel_backend=args.kernel_backend,
+                          sparse_threshold=args.sparse_threshold,
                           telemetry=_telemetry(args),
                           **_budget_kwargs(args))
     elif args.files:
         jobs = jobs_from_files(args.files, domain=args.domain,
                                compile_transfer=not args.no_compile,
                                kernel_backend=args.kernel_backend,
+                               sparse_threshold=args.sparse_threshold,
                                telemetry=_telemetry(args),
                                **_budget_kwargs(args))
     else:
         events.error("batch_usage",
                      message="no input files (pass FILE... or --suite)")
         return 2
+
+    if args.cross_validate:
+        return _batch_cross_validate(args, jobs)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     # Journalling is on by default so an unplanned kill is always
@@ -232,6 +276,9 @@ def cmd_batch(args) -> int:
         if result.completed:
             detail = (f"{result.checks_verified}/{result.checks_total} "
                       f"verified  {result.seconds:7.3f}s")
+            sparsity = stats.sparsity_ratio(result.counters)
+            if sparsity is not None:
+                detail += f"  sp={sparsity:.3f}"
             if result.rungs:
                 rungs = ", ".join(f"{proc}->{dom}" for proc, dom
                                   in sorted(result.rungs.items()))
@@ -275,7 +322,9 @@ def cmd_batch(args) -> int:
             "op_self_seconds": timings["op_self_seconds"],
             "op_calls": timings["op_calls"],
             "histograms": batch.merged_histograms(),
-            "jobs": [job_result_to_dict(r) for r in batch.results],
+            "jobs": [dict(job_result_to_dict(r),
+                          sparsity=stats.sparsity_ratio(r.counters))
+                     for r in batch.results],
         }
         with open(args.json, "w") as fh:
             _json.dump(document, fh, indent=2)
@@ -423,6 +472,8 @@ def cmd_client(args) -> int:
                            "compile_transfer": not args.no_compile}
                 if args.kernel_backend is not None:
                     options["kernel_backend"] = args.kernel_backend
+                if args.sparse_threshold is not None:
+                    options["sparse_threshold"] = args.sparse_threshold
                 for key, value in _budget_kwargs(args).items():
                     if value is not None:
                         options[key] = value
@@ -514,14 +565,23 @@ def main(argv=None) -> int:
         p.add_argument("-q", "--quiet", action="store_true",
                        help="errors only on stderr")
 
+    def _sparse_flags(p):
+        p.add_argument("--sparse-threshold", type=float, default=None,
+                       metavar="T",
+                       help="sparsity ratio above which the sparse-octagon "
+                            "domain keeps the graph representation "
+                            "(0..1; default: domain policy)")
+
     p = sub.add_parser("analyze", help="analyze one or more source files")
     add_robustness_flags(p)
     add_kernel_flags(p)
     add_telemetry_flags(p)
     p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--domain", default="octagon",
-                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+                   choices=["octagon", "sparse-octagon", "apron", "interval",
+                            "zone", "pentagon"])
     p.add_argument("--widening-delay", type=int, default=2)
+    _sparse_flags(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes when analyzing several files "
                         "(default: cpu count)")
@@ -541,7 +601,13 @@ def main(argv=None) -> int:
                    choices=["small", "paper", "large"],
                    help="suite scale (default: REPRO_BENCH_SCALE or paper)")
     p.add_argument("--domain", default="octagon",
-                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+                   choices=["octagon", "sparse-octagon", "apron", "interval",
+                            "zone", "pentagon"])
+    _sparse_flags(p)
+    p.add_argument("--cross-validate", action="store_true",
+                   help="run every program under both the dense and the "
+                        "sparse octagon backend and fail on any verdict "
+                        "or bound disagreement")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: cpu count; 1 = inline)")
     p.add_argument("--timeout", type=float, default=None,
@@ -637,8 +703,10 @@ def main(argv=None) -> int:
                    help="source files (analyze action)")
     add_endpoint_flags(p)
     p.add_argument("--domain", default="octagon",
-                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+                   choices=["octagon", "sparse-octagon", "apron", "interval",
+                            "zone", "pentagon"])
     p.add_argument("--widening-delay", type=int, default=2)
+    _sparse_flags(p)
     p.add_argument("--no-compile", action="store_true",
                    help="interpret edge actions instead of compiled "
                         "transfer plans")
@@ -648,7 +716,8 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("demo", help="analyse the paper's Figure 2 example")
     p.add_argument("--domain", default="octagon",
-                   choices=["octagon", "apron", "interval", "zone", "pentagon"])
+                   choices=["octagon", "sparse-octagon", "apron", "interval",
+                            "zone", "pentagon"])
     p.set_defaults(func=cmd_demo)
 
     args = parser.parse_args(argv)

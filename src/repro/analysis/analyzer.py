@@ -35,6 +35,7 @@ from .transfer import apply_assume
 #: become unknown instead of verified.
 LADDER = {
     "octagon": ("octagon", "zone", "interval"),
+    "sparse-octagon": ("sparse-octagon", "zone", "interval"),
     "apron": ("apron", "zone", "interval"),
     "zone": ("zone", "interval"),
     "pentagon": ("pentagon", "interval"),
@@ -125,6 +126,10 @@ class Analyzer:
     #: Descend the precision ladder on budget exhaustion instead of
     #: propagating :class:`~repro.errors.AnalysisInterrupted`.
     degrade: bool = True
+    #: Sparsity threshold for the ``sparse-octagon`` domain's
+    #: graph-vs-dense representation switch (``None`` keeps the domain
+    #: default).  Ignored by the other domains.
+    sparse_threshold: Optional[float] = None
 
     def _factory(self) -> DomainFactory:
         if isinstance(self.domain, str):
@@ -142,6 +147,19 @@ class Analyzer:
         return Budget(time_limit=self.time_budget,
                       max_iterations=self.iteration_budget,
                       max_cells=self.cell_budget)
+
+    def _rung_factory(self, rung: Union[str, DomainFactory]):
+        """Resolve a ladder rung to a factory, honouring the configured
+        sparsity threshold for the graph-backed octagon."""
+        if not isinstance(rung, str):
+            return rung
+        if rung == "sparse-octagon" and self.sparse_threshold is not None:
+            from ..core.kinds import GraphPolicy
+            from ..domains.sparse_octagon import ConfiguredSparseOctagonFactory
+            return ConfiguredSparseOctagonFactory(
+                GraphPolicy(threshold=self.sparse_threshold),
+                name="sparse-octagon")
+        return get_domain(rung)
 
     def _rungs(self) -> List[Union[str, DomainFactory]]:
         """The domains to try for each procedure, most precise first."""
@@ -184,7 +202,7 @@ class Analyzer:
             rungs = self._rungs()
             last_exc: Optional[AnalysisInterrupted] = None
             for i, rung in enumerate(rungs):
-                factory = get_domain(rung) if isinstance(rung, str) else rung
+                factory = self._rung_factory(rung)
                 with trace.span("rung", domain=rung_name(rung)) as sp:
                     try:
                         stats.bump("fixpoint_runs")
@@ -202,8 +220,7 @@ class Analyzer:
             # Every rung exhausted its budget: fall back to the trivial
             # sound answer -- top at every node.  The checks become
             # unknown, never wrong.
-            factory = (get_domain(rungs[-1]) if isinstance(rungs[-1], str)
-                       else rungs[-1])
+            factory = self._rung_factory(rungs[-1])
             n = len(cfg.variables)
             top = factory.top(n)
             states = {node: top.copy() for node in range(cfg.n_nodes)}

@@ -62,6 +62,7 @@ from ..core.apron_octagon import ApronOctagon
 from ..core.bounds import is_finite
 from ..core.constraints import LinExpr, OctConstraint
 from ..core.octagon import Octagon
+from ..domains.sparse_octagon import SparseOctagon
 from ..frontend.ast_nodes import (
     Assign, AssignInterval, Assume, BExpr, BoolLit, BoolOp, Cmp, Havoc, Not,
 )
@@ -101,7 +102,7 @@ def counters() -> Dict[str, int]:
 
 # The DBM-backed octagon implementations whose ``assume_linear`` the
 # batched constraint path specialises exactly (canonical closed output).
-_BATCHABLE = (Octagon, ApronOctagon)
+_BATCHABLE = (Octagon, ApronOctagon, SparseOctagon)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,114 @@
+"""Graph-form helpers for the sparsity-preserving octagon backend.
+
+The :class:`~repro.domains.sparse_octagon.SparseOctagon` stores a DBM
+as a dict of canonical-half cells plus a unary snapshot instead of a
+``(2n)^2`` matrix.  The closure strategy (after Jourdan, *Sparsity
+Preserving Algorithms for Octagons*, and Chawdhary/Robbins/King,
+*Incrementally Closing Octagons*) is:
+
+* discover the *explicit* variable components induced by the stored
+  binary cells (union-find below),
+* gather each component into a tiny dense ``(2b)^2`` submatrix and run
+  the ordinary registered closure kernels on it -- so the graph backend
+  reuses the numpy/numba kernel tables instead of shipping scalar
+  Python closures,
+* scatter the result back, keeping only cells *tighter than what the
+  unary bounds already imply* (lazy strengthening: the mixed cells
+  ``(u_i + u_{j bar})/2`` that full strengthening would materialise
+  everywhere stay implicit in the snapshot).
+
+These helpers are deliberately outside the pluggable backend tables in
+:mod:`repro.core.kernels` -- they are representation plumbing, not hot
+numeric kernels; the numeric work still dispatches through the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+Key = Tuple[int, int]
+
+
+def canon(i: int, j: int) -> Key:
+    """Canonical half key for matrix cell ``(i, j)``.
+
+    A coherent DBM satisfies ``m[i, j] == m[j^1, i^1]``; the stored
+    half keeps the representative with ``j <= (i | 1)`` (same canonical
+    triangle the dense half-layout uses).
+    """
+    if j <= (i | 1):
+        return (i, j)
+    return (j ^ 1, i ^ 1)
+
+
+def unary_key(i: int) -> Key:
+    """The (always canonical) key of the unary cell ``m[i, i^1]``."""
+    return (i, i ^ 1)
+
+
+def is_unary(key: Key) -> bool:
+    return key[0] ^ 1 == key[1]
+
+
+class UnionFind:
+    """Plain union-find over variable indices ``0..n-1``."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+    def groups(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {}
+        for x in range(len(self.parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+
+def components(n: int, edges: Iterable[Key]) -> List[List[int]]:
+    """Variable components induced by binary cell keys.
+
+    Returns only the *relational* components (size >= 2, or size 1 with
+    a self-edge is impossible here); singleton variables are the
+    complement and are handled separately by the caller (their closure
+    is just the unary consistency check).
+    """
+    uf = UnionFind(n)
+    touched = set()
+    for (r, s) in edges:
+        vr, vs = r >> 1, s >> 1
+        if vr != vs:
+            uf.union(vr, vs)
+            touched.add(vr)
+            touched.add(vs)
+    blocks = [sorted(g) for root, g in sorted(uf.groups().items())
+              if len(g) > 1 or root in touched]
+    return [b for b in blocks if len(b) > 1]
+
+
+def block_indices(block: List[int]) -> List[int]:
+    """Matrix row/col indices for a variable block, paired ``2v, 2v+1``.
+
+    The order keeps local index pairing compatible with the global one:
+    local ``a`` and ``a ^ 1`` map to global ``idx[a]`` and
+    ``idx[a] ^ 1``.
+    """
+    out = []
+    for v in block:
+        out.append(2 * v)
+        out.append(2 * v + 1)
+    return out

@@ -66,6 +66,17 @@ from ..testing import faults as _faults
 # Shared with the Zone domain, whose closure cache bumps the same name.
 metrics.REGISTRY.counter("closure_cache_hits",
                          "Closed forms served from the versioned cache")
+# Closure traffic and DBM footprint, comparable across backends: the
+# graph-sparse octagon (domains/sparse_octagon.py) bumps the same names
+# at its own closure boundaries, so a differential run reads one table.
+metrics.REGISTRY.counter("closure_cells",
+                         "DBM cells traversed by closure kernels")
+metrics.REGISTRY.counter("dbm_finite_cells",
+                         "Finite half-matrix cells, high-water mark")
+metrics.REGISTRY.counter("dbm_half_size",
+                         "Half-matrix capacity 2n^2+2n, high-water mark")
+metrics.REGISTRY.counter("dbm_peak_bytes",
+                         "Peak materialised DBM bytes (8 per cell)")
 
 
 class Octagon:
@@ -285,10 +296,11 @@ class Octagon:
         # to traverse (per-component for decomposed closures, so a
         # densifying octagon burns its cell budget much faster).
         if kind == DbmKind.DECOMPOSED:
-            _budget.charge_cells(sum((2 * len(b)) ** 2
-                                     for b in self.partition.blocks))
+            area = sum((2 * len(b)) ** 2 for b in self.partition.blocks)
         else:
-            _budget.charge_cells((2 * self.n) ** 2)
+            area = (2 * self.n) ** 2
+        _budget.charge_cells(area)
+        stats.bump("closure_cells", area)
         m = self._write_mat()
         start = time.perf_counter()
         if kind == DbmKind.DECOMPOSED:
@@ -316,13 +328,24 @@ class Octagon:
             self._become_bottom()
         else:
             self.closed = True
+            self._record_footprint()
         if _faults.fire("dbm_corrupt"):
             _faults.corrupt_octagon(self)
         _sentinel.check(self)
 
+    def _record_footprint(self) -> None:
+        """High-water gauges at a closure boundary, comparable with the
+        graph backend's: the dense representation always holds the full
+        ``(2n)^2`` matrix at 8 bytes a cell (container overhead excluded
+        on both sides), and ``nni`` counts its finite half cells."""
+        stats.bump_max("dbm_finite_cells", self.nni)
+        stats.bump_max("dbm_half_size", half_size(self.n))
+        stats.bump_max("dbm_peak_bytes", 8 * (2 * self.n) ** 2)
+
     def _incremental_close(self, v: int) -> None:
         """Quadratic re-closure after changes confined to variable ``v``."""
         _budget.charge_cells(8 * self.n)  # two row/column pairs touched
+        stats.bump("closure_cells", 8 * self.n)
         m = self._write_mat()
         start = time.perf_counter()
         empty = kernels.incremental_closure(m, v)
@@ -349,6 +372,7 @@ class Octagon:
                 self.partition = self.partition.merge_blocks_containing(
                     unary_vars.tolist())
         self.closed = True
+        self._record_footprint()
         _sentinel.check(self)
 
     # ------------------------------------------------------------------

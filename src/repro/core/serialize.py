@@ -142,7 +142,12 @@ def analysis_report(result) -> Dict:
 #: ``kernel_backend`` (the concrete kernel backend the worker computed
 #: with -- a cache-key component, so the document must record it);
 #: ``dbms`` and ``shm_arena`` stay wire-only, like ``trace_events``.
-JOB_RESULT_SCHEMA = 5
+#: v6: job options (and therefore cache keys) gained
+#: ``sparse_threshold`` -- the graph-vs-dense switching knob of the
+#: ``sparse-octagon`` domain.  The result document's shape is
+#: unchanged, but v5 documents were keyed without the option, so they
+#: must not be served against v6 keys.
+JOB_RESULT_SCHEMA = 6
 
 
 def job_result_to_dict(result) -> Dict:

@@ -25,6 +25,7 @@ from repro.obs.collect import (  # noqa: F401
     StatsCollector,
     active_collector,
     bump,
+    bump_max,
     capturing_closure_inputs,
     collecting,
     record_closure,
@@ -36,16 +37,35 @@ from repro.obs.metrics import (  # noqa: F401
     register_counter_source,
 )
 
+
+def sparsity_ratio(counters) -> "float | None":
+    """Peak sparsity ratio from a run's counter summary, or ``None``.
+
+    Derived from the ``dbm_finite_cells`` / ``dbm_half_size`` high-water
+    gauges both octagon backends record at closure boundaries: the
+    fraction of the half-matrix that stayed trivial at the densest
+    moment of the run.  ``None`` when the run recorded no closures
+    (e.g. a non-DBM domain).
+    """
+    half = counters.get("dbm_half_size", 0)
+    if not half:
+        return None
+    finite = counters.get("dbm_finite_cells", 0)
+    return max(0.0, 1.0 - finite / half)
+
+
 __all__ = [
     "ClosureRecord",
     "OpCounter",
     "StatsCollector",
     "active_collector",
     "bump",
+    "bump_max",
     "capturing_closure_inputs",
     "collecting",
     "record_closure",
     "record_closure_input",
     "register_counter_source",
+    "sparsity_ratio",
     "timed_op",
 ]

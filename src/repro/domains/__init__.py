@@ -6,15 +6,18 @@ from .domain import (DOMAINS, AbstractDomain, ConfiguredOctagonFactory,
                      DomainFactory, get_domain)
 from .interval import Interval
 from .pentagon import Pentagon
+from .sparse_octagon import ConfiguredSparseOctagonFactory, SparseOctagon
 from .zone import Zone
 
 __all__ = [
     "AbstractDomain",
     "ConfiguredOctagonFactory",
+    "ConfiguredSparseOctagonFactory",
     "DomainFactory",
     "DOMAINS",
     "get_domain",
     "Interval",
     "Pentagon",
+    "SparseOctagon",
     "Zone",
 ]

@@ -96,6 +96,7 @@ class ConfiguredOctagonFactory:
 def _build_registry() -> Dict[str, DomainFactory]:
     from .interval import Interval
     from .pentagon import Pentagon
+    from .sparse_octagon import SparseOctagon
     from .zone import Zone
 
     return {
@@ -104,6 +105,7 @@ def _build_registry() -> Dict[str, DomainFactory]:
         "interval": DomainFactory("interval", Interval),
         "zone": DomainFactory("zone", Zone),
         "pentagon": DomainFactory("pentagon", Pentagon),
+        "sparse-octagon": DomainFactory("sparse-octagon", SparseOctagon),
     }
 
 

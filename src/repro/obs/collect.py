@@ -104,6 +104,12 @@ class StatsCollector:
     def bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def bump_max(self, name: str, value: int) -> None:
+        """Record a high-water mark: the counter keeps the maximum value
+        observed instead of a running sum (e.g. peak DBM bytes)."""
+        if value > self.counters.get(name, 0):
+            self.counters[name] = value
+
     def record_closure(self, record: ClosureRecord) -> None:
         self.closures.append(record)
         if self.histograms_enabled:
@@ -317,6 +323,15 @@ def bump(name: str, amount: int = 1) -> None:
         collector.bump(name, amount)
 
 
+def bump_max(name: str, value: int) -> None:
+    """Raise a high-water-mark counter on every collector active on
+    this thread (no-op otherwise); see :meth:`StatsCollector.bump_max`."""
+    if getattr(_TLS, "active", None) is None:
+        return
+    for collector in _stack():
+        collector.bump_max(name, value)
+
+
 class OpCounter:
     """Counts scalar DBM operations for complexity verification.
 
@@ -343,6 +358,7 @@ __all__ = [
     "StatsCollector",
     "active_collector",
     "bump",
+    "bump_max",
     "capturing_closure_inputs",
     "collecting",
     "record_closure",

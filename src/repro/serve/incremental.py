@@ -67,18 +67,39 @@ metrics.REGISTRY.counter("serve_ast_hits",
 REQUEST_OPTIONS = (
     "domain", "widening_delay", "narrowing_steps", "widening_thresholds",
     "integer_mode", "compile_transfer", "time_budget", "iteration_budget",
-    "cell_budget", "kernel_backend",
+    "cell_budget", "kernel_backend", "sparse_threshold",
 )
 
 TIERS = ("memory", "disk", "computed")
 
 
-class _LRU:
-    """A tiny LRU dict (no per-entry weights; capacity in entries)."""
+def _result_weight(result) -> int:
+    """Byte weight of a cached result: the size of its JSON document
+    (the same schema cache entries use), a faithful proxy for what the
+    entry would cost at rest."""
+    import json
 
-    def __init__(self, capacity: int) -> None:
+    from ..core.serialize import job_result_to_dict
+
+    return len(json.dumps(job_result_to_dict(result),
+                          separators=(",", ":")))
+
+
+class _LRU:
+    """A tiny LRU dict; capacity in entries, occupancy also in bytes.
+
+    ``weigh`` (optional) maps a value to its byte weight; entries then
+    contribute to :attr:`bytes`, the occupancy the server's ``status``
+    command reports.  Eviction stays entry-count based -- the weights
+    are bookkeeping, not pressure.
+    """
+
+    def __init__(self, capacity: int, weigh=None) -> None:
         self.capacity = max(1, int(capacity))
+        self._weigh = weigh
         self._data: "OrderedDict[str, object]" = OrderedDict()
+        self._weights: Dict[str, int] = {}
+        self.bytes = 0
 
     def get(self, key: str):
         try:
@@ -88,10 +109,14 @@ class _LRU:
             return None
 
     def put(self, key: str, value) -> None:
+        if self._weigh is not None:
+            self.bytes += int(self._weigh(value)) - self._weights.get(key, 0)
+            self._weights[key] = int(self._weigh(value))
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            self.bytes -= self._weights.pop(evicted, 0)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -126,7 +151,7 @@ class IncrementalAnalyzer:
     def __init__(self, cache: Optional[ResultCache] = None, *,
                  lru_procedures: int = 1024, lru_programs: int = 64) -> None:
         self.cache = cache
-        self._results = _LRU(lru_procedures)
+        self._results = _LRU(lru_procedures, weigh=_result_weight)
         self._programs = _LRU(lru_programs)
         self._lock = threading.Lock()
         self.tier_counts: Dict[str, int] = {tier: 0 for tier in TIERS}
@@ -248,6 +273,11 @@ class IncrementalAnalyzer:
         )
 
     # ------------------------------------------------------------------
+    def lru_occupancy(self) -> Tuple[int, int]:
+        """(entries, bytes) of the in-memory result LRU."""
+        with self._lock:
+            return len(self._results), self._results.bytes
+
     def counter_summary(self) -> Dict[str, int]:
         with self._lock:
             out = {f"serve_procs_{tier}": count
@@ -255,6 +285,7 @@ class IncrementalAnalyzer:
             out["serve_ast_hits"] = self.ast_hits
             out["serve_ast_misses"] = self.ast_misses
             out["serve_lru_entries"] = len(self._results)
+            out["serve_lru_bytes"] = self._results.bytes
             out["serve_ast_entries"] = len(self._programs)
         if self.cache is not None:
             out.update(self.cache.counter_summary())

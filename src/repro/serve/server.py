@@ -289,6 +289,9 @@ class AnalysisServer:
             "requests": requests,
             "connections": connections,
         }
+        lru_entries, lru_bytes = self.analyzer.lru_occupancy()
+        response["lru_entries"] = lru_entries
+        response["lru_bytes"] = lru_bytes
         response.update(self._config())
         return response
 

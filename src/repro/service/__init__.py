@@ -31,16 +31,20 @@ from .job import AnalysisJob, CheckVerdict, JobResult, ProcedureSummary, execute
 from .journal import BatchJournal, batch_id
 from .scheduler import BatchResult, run_batch
 from .suite import run_suite, suite_jobs
+from .validate import CrossValidationReport, ProgramValidation, cross_validate
 
 __all__ = [
     "AnalysisJob",
     "BatchJournal",
     "BatchResult",
     "CheckVerdict",
+    "CrossValidationReport",
     "JobResult",
+    "ProgramValidation",
     "ProcedureSummary",
     "ResultCache",
     "batch_id",
+    "cross_validate",
     "execute_job",
     "run_batch",
     "run_suite",

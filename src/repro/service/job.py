@@ -54,6 +54,11 @@ class AnalysisJob:
     time_budget: Optional[float] = None
     iteration_budget: Optional[int] = None
     cell_budget: Optional[int] = None
+    #: Sparsity threshold for the ``sparse-octagon`` domain's graph vs
+    #: dense representation switch (``None`` = the domain default).
+    #: Included in the cache key: it changes which representation (and
+    #: therefore which code path) produced the result.
+    sparse_threshold: Optional[float] = None
     #: Kernel backend request (``auto``/``numpy``/``numba``; None = the
     #: process default, i.e. ``REPRO_KERNEL_BACKEND`` or ``auto``).  The
     #: *resolved* name is what enters the cache key.
@@ -128,6 +133,8 @@ class AnalysisJob:
                                  else int(self.iteration_budget)),
             "cell_budget": (None if self.cell_budget is None
                             else int(self.cell_budget)),
+            "sparse_threshold": (None if self.sparse_threshold is None
+                                 else float(self.sparse_threshold)),
         }
 
     def key(self) -> str:
@@ -284,6 +291,7 @@ def execute_job(job: AnalysisJob) -> JobResult:
         time_budget=job.time_budget,
         iteration_budget=job.iteration_budget,
         cell_budget=job.cell_budget,
+        sparse_threshold=job.sparse_threshold,
     )
     # Spans are recorded into a fresh session buffer: a forked worker
     # inherits the parent's buffer, so without the swap a job would ship

@@ -1,0 +1,185 @@
+"""Cross-backend differential validation: sparse vs dense octagons.
+
+The graph-backed :class:`~repro.domains.sparse_octagon.SparseOctagon`
+is differentially tested against the dense :class:`~repro.core.Octagon`
+at the operator level (bitwise DBM equality under randomised traces),
+but the property users actually rely on is end-to-end: *the same
+program analyses to the same verdicts and the same bounds whichever
+backend ran it*.  This module makes that property a first-class,
+runnable mode (``python -m repro batch --cross-validate``): every job
+is executed twice -- once per backend -- and the results are compared
+field by field.
+
+Comparison is exact, not approximate: verdict lists must be equal,
+per-procedure reachability must agree and every interval endpoint must
+be *identical* (the backends share the closure kernels and apply
+operations in the same order, so agreement to the last bit is the
+expectation; any drift is a bug, not noise).
+
+Caches are deliberately bypassed: a differential run must measure what
+the code computes today, and both executions happen in-process so the
+per-job counters (closure cell traffic, peak DBM bytes) are collected
+under identical conditions and can be reported side by side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import stats
+from .job import AnalysisJob, JobResult, execute_job
+
+DENSE_DOMAIN = "octagon"
+SPARSE_DOMAIN = "sparse-octagon"
+
+
+@dataclass
+class ProgramValidation:
+    """Outcome of one program's dense-vs-sparse comparison."""
+
+    label: str
+    dense: JobResult
+    sparse: JobResult
+    #: Human-readable descriptions of every disagreement (empty = match).
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def sparsity(self) -> Optional[float]:
+        """Peak sparsity ratio observed by the sparse run."""
+        return stats.sparsity_ratio(self.sparse.counters)
+
+    def cell_ratio(self) -> Optional[float]:
+        """Dense / sparse closure cell traffic (>1 = sparse cheaper)."""
+        dense = self.dense.counters.get("closure_cells", 0)
+        sparse = self.sparse.counters.get("closure_cells", 0)
+        return dense / sparse if sparse else None
+
+    def peak_bytes_ratio(self) -> Optional[float]:
+        """Dense / sparse peak DBM bytes (>1 = sparse smaller)."""
+        dense = self.dense.counters.get("dbm_peak_bytes", 0)
+        sparse = self.sparse.counters.get("dbm_peak_bytes", 0)
+        return dense / sparse if sparse else None
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "mismatches": list(self.mismatches),
+            "sparsity": self.sparsity,
+            "cell_ratio": self.cell_ratio(),
+            "peak_bytes_ratio": self.peak_bytes_ratio(),
+            "dense_seconds": self.dense.seconds,
+            "sparse_seconds": self.sparse.seconds,
+            "dense_closure_cells": self.dense.counters.get("closure_cells", 0),
+            "sparse_closure_cells": self.sparse.counters.get("closure_cells", 0),
+            "dense_peak_bytes": self.dense.counters.get("dbm_peak_bytes", 0),
+            "sparse_peak_bytes": self.sparse.counters.get("dbm_peak_bytes", 0),
+        }
+
+
+@dataclass
+class CrossValidationReport:
+    """All programs' comparisons plus rollups."""
+
+    programs: List[ProgramValidation]
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.programs)
+
+    @property
+    def failures(self) -> List[ProgramValidation]:
+        return [p for p in self.programs if not p.ok]
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "programs": [p.to_dict() for p in self.programs],
+        }
+
+
+def compare_results(dense: JobResult, sparse: JobResult) -> List[str]:
+    """Field-by-field comparison; returns disagreement descriptions."""
+    mismatches: List[str] = []
+    if dense.outcome != sparse.outcome:
+        mismatches.append(
+            f"outcome: dense={dense.outcome} sparse={sparse.outcome}")
+        return mismatches  # downstream fields are incomparable
+    if dense.verdicts() != sparse.verdicts():
+        dv, sv = dense.verdicts(), sparse.verdicts()
+        for d, s in zip(dv, sv):
+            if d != s:
+                mismatches.append(f"verdict: dense={d} sparse={s}")
+        if len(dv) != len(sv):
+            mismatches.append(
+                f"verdict count: dense={len(dv)} sparse={len(sv)}")
+    dprocs = {p.name: p for p in dense.procedures}
+    sprocs = {p.name: p for p in sparse.procedures}
+    if sorted(dprocs) != sorted(sprocs):
+        mismatches.append(
+            f"procedures: dense={sorted(dprocs)} sparse={sorted(sprocs)}")
+        return mismatches
+    for name, dp in dprocs.items():
+        sp = sprocs[name]
+        if dp.reachable != sp.reachable:
+            mismatches.append(
+                f"{name}: reachable dense={dp.reachable} "
+                f"sparse={sp.reachable}")
+            continue
+        if dp.box != sp.box:
+            for i, (db, sb) in enumerate(zip(dp.box, sp.box)):
+                if db != sb:
+                    var = (dp.variables[i]
+                           if i < len(dp.variables) else f"v{i}")
+                    mismatches.append(
+                        f"{name}.{var}: bounds dense={db} sparse={sb}")
+    return mismatches
+
+
+def validate_job(job: AnalysisJob, *,
+                 sparse_threshold: Optional[float] = None) -> ProgramValidation:
+    """Run one program under both backends and compare.
+
+    The job's own ``domain`` is ignored -- the comparison is always
+    dense octagon vs sparse octagon, with every other option (widening,
+    budgets, kernel backend) taken from the job unchanged so both runs
+    see the identical configuration.
+    """
+    dense_job = dataclasses.replace(job, domain=DENSE_DOMAIN,
+                                    sparse_threshold=None)
+    sparse_job = dataclasses.replace(job, domain=SPARSE_DOMAIN,
+                                     sparse_threshold=sparse_threshold)
+    dense = execute_job(dense_job)
+    sparse = execute_job(sparse_job)
+    return ProgramValidation(
+        label=job.label or job.key()[:12],
+        dense=dense,
+        sparse=sparse,
+        mismatches=compare_results(dense, sparse),
+    )
+
+
+def cross_validate(jobs: List[AnalysisJob], *,
+                   sparse_threshold: Optional[float] = None,
+                   ) -> CrossValidationReport:
+    """Differentially validate every job; see :func:`validate_job`."""
+    return CrossValidationReport(
+        [validate_job(job, sparse_threshold=sparse_threshold)
+         for job in jobs])
+
+
+__all__ = [
+    "CrossValidationReport",
+    "DENSE_DOMAIN",
+    "ProgramValidation",
+    "SPARSE_DOMAIN",
+    "compare_results",
+    "cross_validate",
+    "validate_job",
+]

@@ -250,6 +250,17 @@ class TestServer:
         assert status["address"].endswith("serve.sock")
         assert status["workers"] == 4
 
+    def test_status_reports_memory_lru_occupancy(self, server):
+        with ServeClient(server.socket_path) as client:
+            empty = client.status()
+            assert empty["lru_entries"] == 0
+            assert empty["lru_bytes"] == 0
+            client.analyze(TWO_PROCS, label="t")
+            warm = client.status()
+        # one cached entry per analysed procedure, weighed by result size
+        assert warm["lru_entries"] == 2
+        assert warm["lru_bytes"] > 0
+
     def test_stats_and_metrics_surface_tiers(self, server):
         from repro.obs.metrics import validate_prometheus_text
 

@@ -1,0 +1,448 @@
+"""The graph-backed sparse octagon, differentially against the dense one.
+
+The contract under test is strict: :class:`SparseOctagon` is not
+"approximately" the dense :class:`Octagon` -- its materialised matrix
+must equal the dense backend's DBM *bit for bit* after every operation
+of any operation sequence, raw and closed alike, and whole analyses
+must produce identical verdicts and bounds.  The tests therefore lean
+on randomised differential traces (the same trace executed against
+both backends, compared after every step) plus the acceptance-criteria
+counter assertions: on the sparse-profile suite programs the graph
+representation must cut closure cell traffic by >=5x and peak DBM
+bytes by >=2x while staying bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.analyzer import Analyzer
+from repro.core import budget as budget_mod
+from repro.core import sentinel, stats
+from repro.core.budget import Budget
+from repro.core.bounds import INF
+from repro.core.constraints import LinExpr, OctConstraint
+from repro.core.kinds import GraphPolicy
+from repro.core.octagon import Octagon
+from repro.domains.sparse_octagon import (ConfiguredSparseOctagonFactory,
+                                          SparseOctagon)
+from repro.errors import BudgetExceeded, IntegrityError
+from repro.service.job import execute_job
+from repro.service.validate import cross_validate
+from repro.testing import faults
+from repro.workloads.suite import BENCHMARKS
+
+from .dbm_strategies import coherent_dbms
+
+#: The suite rows whose workloads are sparse-profile (the TouchBoost
+#: family: many variables, few relational constraints per component) --
+#: the programs the acceptance criteria are asserted on.
+SPARSE_PROFILE = ("gwsfmlau", "blwd", "eeorzcap", "jwgqbjzs")
+
+
+# ----------------------------------------------------------------------
+# differential trace harness
+# ----------------------------------------------------------------------
+def _dyadic(rng) -> float:
+    return rng.randint(-64, 64) / 4.0
+
+
+def _rand_cons(rng, n: int) -> OctConstraint:
+    v = rng.randrange(n)
+    kind = rng.randrange(5)
+    if kind == 0:
+        return OctConstraint.upper(v, _dyadic(rng))
+    if kind == 1:
+        return OctConstraint.lower(v, _dyadic(rng))
+    w = rng.choice([x for x in range(n) if x != v])
+    if kind == 2:
+        return OctConstraint.diff(v, w, _dyadic(rng))
+    if kind == 3:
+        return OctConstraint.sum(v, w, _dyadic(rng))
+    return OctConstraint.neg_sum(v, w, _dyadic(rng))
+
+
+def _rand_linexpr(rng, n: int) -> LinExpr:
+    coeffs = {}
+    for _ in range(rng.randrange(0, 3)):
+        coeffs[rng.randrange(n)] = rng.choice([1.0, -1.0, 2.0])
+    return LinExpr(coeffs, _dyadic(rng))
+
+
+def _assert_same(d: Octagon, s: SparseOctagon, ctx: str) -> None:
+    assert d._bottom == s._bottom, f"{ctx}: bottom {d._bottom} vs {s._bottom}"
+    if d._bottom:
+        return
+    dm, sm = d.mat, s.to_matrix()
+    if not np.array_equal(dm, sm):
+        bad = np.argwhere(dm != sm)
+        i, j = map(int, bad[0])
+        raise AssertionError(
+            f"{ctx}: cell ({i},{j}) dense={dm[i, j]!r} sparse={sm[i, j]!r} "
+            f"({len(bad)} cells differ)")
+    assert d.closed == s.closed, f"{ctx}: closed {d.closed} vs {s.closed}"
+
+
+_TRACE_OPS = (
+    "meet_cons", "meet_conss", "assign_const", "assign_interval",
+    "assign_translate", "assign_negate", "assign_var", "assign_linexpr",
+    "assume", "forget", "closure", "join", "widen", "widen_thr", "narrow",
+    "meet", "is_leq", "is_eq", "bounds", "substitute", "tighten",
+    "contains", "expand", "fold", "add_dims", "remove_dims", "permute",
+)
+
+
+def _run_trace(rng, n: int = 6, trace_len: int = 40) -> None:
+    """One random op sequence, bit-compared against dense at every step."""
+    d: Octagon = Octagon.top(n)
+    s: SparseOctagon = SparseOctagon.top(n)
+    hist_d, hist_s = [d], [s]
+    ops = []
+    for step in range(trace_len):
+        op = rng.choice(_TRACE_OPS)
+        ops.append(op)
+        ctx = f"step {step} op {op} (trace: {ops})"
+        if op == "meet_cons":
+            c = _rand_cons(rng, n)
+            d, s = d.meet_constraint(c), s.meet_constraint(c)
+        elif op == "meet_conss":
+            cs = [_rand_cons(rng, n) for _ in range(rng.randrange(1, 4))]
+            d, s = d.meet_constraints(cs), s.meet_constraints(cs)
+        elif op == "assign_const":
+            v, c = rng.randrange(n), _dyadic(rng)
+            d, s = d.assign_const(v, c), s.assign_const(v, c)
+        elif op == "assign_interval":
+            v = rng.randrange(n)
+            lo, hi = sorted((_dyadic(rng), _dyadic(rng)))
+            d, s = d.assign_interval(v, lo, hi), s.assign_interval(v, lo, hi)
+        elif op == "assign_translate":
+            v, c = rng.randrange(n), _dyadic(rng)
+            d, s = d.assign_translate(v, c), s.assign_translate(v, c)
+        elif op == "assign_negate":
+            v, c = rng.randrange(n), _dyadic(rng)
+            d, s = d.assign_negate(v, c), s.assign_negate(v, c)
+        elif op == "assign_var":
+            v, w = rng.randrange(n), rng.randrange(n)
+            k, c = rng.choice([1, -1]), _dyadic(rng)
+            d = d.assign_var(v, w, coeff=k, offset=c)
+            s = s.assign_var(v, w, coeff=k, offset=c)
+        elif op == "assign_linexpr":
+            v, e = rng.randrange(n), _rand_linexpr(rng, n)
+            d, s = d.assign_linexpr(v, e), s.assign_linexpr(v, e)
+        elif op == "assume":
+            e = _rand_linexpr(rng, n)
+            d, s = d.assume_linear(e), s.assume_linear(e)
+        elif op == "forget":
+            v = rng.randrange(n)
+            d, s = d.forget(v), s.forget(v)
+        elif op == "closure":
+            d, s = d.closure(), s.closure()
+        elif op in ("join", "widen", "widen_thr", "narrow", "meet"):
+            i = rng.randrange(len(hist_d))
+            od, os_ = hist_d[i], hist_s[i]
+            if op == "join":
+                d, s = d.join(od), s.join(os_)
+            elif op == "widen":
+                d, s = d.widening(od), s.widening(os_)
+            elif op == "widen_thr":
+                ts = sorted({_dyadic(rng) for _ in range(4)})
+                d = d.widening_thresholds(od, ts)
+                s = s.widening_thresholds(os_, ts)
+            elif op == "narrow":
+                d, s = d.narrowing(od), s.narrowing(os_)
+            else:
+                d, s = d.meet(od), s.meet(os_)
+        elif op == "is_leq":
+            i = rng.randrange(len(hist_d))
+            assert d.is_leq(hist_d[i]) == s.is_leq(hist_s[i]), ctx
+        elif op == "is_eq":
+            i = rng.randrange(len(hist_d))
+            assert d.is_eq(hist_d[i]) == s.is_eq(hist_s[i]), ctx
+        elif op == "bounds":
+            v = rng.randrange(n)
+            assert d.bounds(v) == s.bounds(v), ctx
+            e = _rand_linexpr(rng, n)
+            assert d.bound_linexpr(e) == s.bound_linexpr(e), ctx
+        elif op == "substitute":
+            v, e = rng.randrange(n), _rand_linexpr(rng, n)
+            d, s = d.substitute_linexpr(v, e), s.substitute_linexpr(v, e)
+        elif op == "tighten":
+            d, s = d.tighten_integers(), s.tighten_integers()
+        elif op == "contains":
+            pt = [_dyadic(rng) for _ in range(n)]
+            assert d.contains_point(pt) == s.contains_point(pt), ctx
+        elif op == "expand":
+            if n <= 6:
+                v, k = rng.randrange(n), rng.randrange(1, 3)
+                d, s = d.expand(v, k), s.expand(v, k)
+                n += k
+                hist_d, hist_s = [d], [s]
+        elif op == "fold":
+            if n >= 4:
+                k = rng.randrange(2, min(4, n))
+                vs = rng.sample(range(n), k)
+                d, s = d.fold(vs), s.fold(vs)
+                n -= (k - 1)
+                hist_d, hist_s = [d], [s]
+        elif op == "add_dims":
+            if n <= 6:
+                k = rng.randrange(1, 3)
+                d, s = d.add_dimensions(k), s.add_dimensions(k)
+                n += k
+                hist_d, hist_s = [d], [s]
+        elif op == "remove_dims":
+            if n >= 3:
+                k = rng.randrange(1, min(3, n - 1))
+                vs = rng.sample(range(n), k)
+                d, s = d.remove_dimensions(vs), s.remove_dimensions(vs)
+                n -= k
+                hist_d, hist_s = [d], [s]
+        elif op == "permute":
+            perm = list(range(n))
+            rng.shuffle(perm)
+            d, s = d.permute(perm), s.permute(perm)
+        _assert_same(d, s, ctx)
+        assert d.is_bottom() == s.is_bottom(), ctx
+        _assert_same(d, s, ctx + " after is_bottom")
+        hist_d.append(d)
+        hist_s.append(s)
+    assert d.is_top() == s.is_top()
+    assert d.to_box() == s.to_box()
+    if not d._bottom:
+        dc = {(c.i, c.coeff_i, c.j, c.coeff_j, c.bound)
+              for c in d.to_constraints()}
+        sc = {(c.i, c.coeff_i, c.j, c.coeff_j, c.bound)
+              for c in s.to_constraints()}
+        assert dc == sc, f"constraints differ: {dc ^ sc}"
+
+
+class TestDifferentialTraces:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_traces_bitwise(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            _run_trace(rng)
+
+    def test_forced_graph_policy(self):
+        # threshold 0 keeps the graph path on even for dense matrices
+        rng = random.Random(99)
+        policy = GraphPolicy(threshold=0.0, hysteresis=0.0)
+        d = Octagon.top(5)
+        s = SparseOctagon.top(5, policy=policy)
+        for step in range(60):
+            c = _rand_cons(rng, 5)
+            d, s = d.meet_constraint(c), s.meet_constraint(c)
+            if step % 7 == 0:
+                d, s = d.closure(), s.closure()
+            _assert_same(d, s, f"forced-graph step {step}")
+            if d._bottom:
+                break
+
+    def test_forced_dense_mode(self):
+        # threshold 1 forces the dense fallback inside the graph backend
+        rng = random.Random(7)
+        policy = GraphPolicy(threshold=1.0, hysteresis=0.0)
+        d = Octagon.top(4)
+        s = SparseOctagon.top(4, policy=policy)
+        for step in range(40):
+            c = _rand_cons(rng, 4)
+            d, s = d.meet_constraint(c), s.meet_constraint(c)
+            _assert_same(d, s, f"forced-dense step {step}")
+            if d._bottom:
+                break
+        assert s.dense_mode or s._bottom
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(coherent_dbms(max_n=5))
+    def test_matrix_round_trip_bit_identical(self, m):
+        s = SparseOctagon.from_matrix(m)
+        assert np.array_equal(s.to_matrix(), m)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coherent_dbms(max_n=5))
+    def test_dense_sparse_dense_bit_identical(self, m):
+        d = Octagon.from_matrix(m, copy=True)
+        s = SparseOctagon.from_dense(d)
+        back = s.to_dense()
+        assert np.array_equal(back.mat, d.mat)
+        assert back.closed == d.closed
+        # and the closures agree bit for bit
+        dc, sc = d.closure(), s.closure()
+        assert d._bottom == s._bottom
+        if not d._bottom:
+            assert np.array_equal(dc.mat, sc.to_matrix())
+            assert np.array_equal(sc.to_dense().mat, dc.mat)
+
+    def test_closed_rep_is_canonical(self):
+        s = SparseOctagon.from_constraints(3, [
+            OctConstraint.upper(0, 4.0), OctConstraint.lower(0, -1.0),
+            OctConstraint.diff(0, 1, 2.0),
+        ]).closure()
+        # no sentinels, no unary cells outside the snapshot
+        for (r, c), v in s.cells.items():
+            assert v < INF
+            assert r ^ 1 != c
+        assert s.snap is not None
+
+
+# ----------------------------------------------------------------------
+# acceptance criteria: suite parity + sparse-profile wins
+# ----------------------------------------------------------------------
+class TestSuiteParity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        jobs = [b.job("small") for b in BENCHMARKS]
+        return cross_validate(jobs)
+
+    def test_all_17_programs_verdict_and_bound_identical(self, report):
+        assert len(report.programs) == 17
+        assert report.ok, [
+            (p.label, p.mismatches) for p in report.failures]
+
+    def test_sparse_profile_cell_traffic_reduction(self, report):
+        by_label = {p.label: p for p in report.programs}
+        for name in SPARSE_PROFILE:
+            ratio = by_label[name].cell_ratio()
+            assert ratio is not None and ratio >= 5.0, (
+                f"{name}: closure cell traffic only {ratio}x lower")
+
+    def test_sparse_profile_peak_memory_reduction(self, report):
+        by_label = {p.label: p for p in report.programs}
+        for name in SPARSE_PROFILE:
+            ratio = by_label[name].peak_bytes_ratio()
+            assert ratio is not None and ratio >= 2.0, (
+                f"{name}: peak DBM bytes only {ratio}x lower")
+
+    def test_sparsity_gauge_reported(self, report):
+        for prog in report.programs:
+            sp = prog.sparsity
+            assert sp is not None and 0.0 <= sp <= 1.0
+
+
+# ----------------------------------------------------------------------
+# switching, budgets, stats
+# ----------------------------------------------------------------------
+class TestSwitching:
+    def test_hysteresis_counts_representation_switches(self):
+        policy = GraphPolicy(threshold=0.5, hysteresis=0.0)
+        cons = []  # densify n=4: 18 of 24 possible binary half-cells
+        for v in range(4):
+            for w in range(v + 1, 4):
+                cons.append(OctConstraint.diff(v, w, 1.0))
+                cons.append(OctConstraint.sum(v, w, 3.0))
+                cons.append(OctConstraint.neg_sum(v, w, 5.0))
+        with stats.collecting() as collector:
+            s = SparseOctagon.from_constraints(4, cons, policy=policy)
+            assert not s.dense_mode
+            s = s.closure()  # sparsity below threshold: goes dense
+            assert s.dense_mode and not s._bottom
+            for v in range(3):  # recover sparsity ...
+                s = s.forget(v)
+            # ... and force a raw re-closure (widening output is unclosed)
+            s = s.widening(s.assign_translate(3, 1.0))
+            assert not s.closed
+            s = s.closure()
+            assert not s.dense_mode  # hysteresis re-decided: back to graph
+        assert collector.counter_summary()["sparse_rep_switches"] == 2
+
+    def test_budget_interrupt_mid_closure_leaves_state_usable(self):
+        s = SparseOctagon.from_constraints(6, [
+            OctConstraint.diff(0, 1, 2.0), OctConstraint.sum(2, 3, 5.0),
+            OctConstraint.upper(4, 1.0),
+        ])
+        raw = s.to_matrix().copy()
+        with budget_mod.governed(Budget(max_cells=4)):
+            with pytest.raises(BudgetExceeded):
+                s.closure()
+        # the interrupt fired before any mutation: state still raw + exact
+        assert not s.closed
+        assert np.array_equal(s.to_matrix(), raw)
+        closed = s.closure()  # and closable once the budget is lifted
+        assert closed.closed
+
+    def test_analyzer_degrades_under_cell_budget(self):
+        source = BENCHMARKS[0].source("small")
+        result = Analyzer(domain="sparse-octagon", cell_budget=64).analyze(
+            source)
+        assert result.degraded
+        used = {p.domain_used for p in result.procedures if p.degraded}
+        assert used <= {"zone", "interval"}
+
+    def test_configured_factory_and_analyzer_threshold(self):
+        factory = ConfiguredSparseOctagonFactory(
+            GraphPolicy(threshold=0.25), name="sparse-octagon")
+        top = factory.top(3)
+        assert isinstance(top, SparseOctagon)
+        assert top.policy.threshold == 0.25
+        res = Analyzer(domain="sparse-octagon", sparse_threshold=0.25).analyze(
+            "proc p { x = [0, 4]; assert(x <= 4); }")
+        assert res.all_verified
+
+    def test_gauges_recorded_per_job(self):
+        result = execute_job(BENCHMARKS[4].job("small",
+                                               domain="sparse-octagon"))
+        counters = result.counters
+        assert counters["dbm_finite_cells"] > 0
+        assert counters["dbm_half_size"] > 0
+        assert counters["dbm_peak_bytes"] > 0
+        sp = stats.sparsity_ratio(counters)
+        assert sp is not None and 0.0 < sp <= 1.0
+
+    def test_cache_key_depends_on_sparse_threshold(self):
+        a = BENCHMARKS[0].job("small", domain="sparse-octagon")
+        b = BENCHMARKS[0].job("small", domain="sparse-octagon",
+                              sparse_threshold=0.75)
+        assert a.key() != b.key()
+        assert a.options()["sparse_threshold"] is None
+        assert b.options()["sparse_threshold"] == 0.75
+
+
+# ----------------------------------------------------------------------
+# sentinel audits and fault injection
+# ----------------------------------------------------------------------
+class TestSentinelAndFaults:
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        previous = sentinel.paranoid_enabled()
+        yield
+        sentinel.set_paranoid(previous)
+        faults.clear()
+
+    def test_paranoid_audits_run_on_sparse_reps(self):
+        sentinel.set_paranoid(True)
+        with stats.collecting() as collector:
+            rng = random.Random(21)
+            _run_trace(rng, n=4, trace_len=15)
+        assert collector.counter_summary().get("paranoid_checks", 0) > 0
+
+    def test_validator_rejects_noncanonical_key(self):
+        s = SparseOctagon.top(3)
+        s.cells[(0, 4)] = 1.0  # 4 > (0 | 1): mirror-half coordinate
+        with pytest.raises(IntegrityError):
+            sentinel.validate_sparse_octagon(s)
+
+    def test_validator_rejects_unary_cell_in_closed_form(self):
+        s = SparseOctagon.from_box([(0.0, 2.0)]).closure()
+        s.cells[(1, 0)] = 2.0  # unary belongs in the snapshot when closed
+        with pytest.raises(IntegrityError):
+            sentinel.validate_sparse_octagon(s)
+
+    def test_corrupt_fault_is_detected_by_sentinel(self):
+        sentinel.set_paranoid(True)
+        # finite unaries ensure the corruption breaks closure invariants
+        s = SparseOctagon.from_constraints(3, [
+            OctConstraint.upper(0, 4.0), OctConstraint.lower(0, -1.0),
+            OctConstraint.upper(1, 9.0), OctConstraint.diff(0, 1, 2.0),
+        ])
+        with faults.injected("dbm_corrupt"):
+            with pytest.raises(IntegrityError):
+                s.closure()
