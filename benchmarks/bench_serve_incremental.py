@@ -17,6 +17,7 @@ fixpoints; an edited request recomputes exactly **one** procedure.
 Requests run serially, so the per-request counter deltas are exact.
 """
 
+import json
 import os
 import tempfile
 import threading
@@ -25,6 +26,7 @@ import time
 from conftest import run_once
 
 from repro.bench import format_table, save_result
+from repro.bench.reporting import results_dir
 from repro.frontend.ast_nodes import Assign, Num
 from repro.frontend.parser import parse_program
 from repro.frontend.pretty import pretty
@@ -142,3 +144,88 @@ def test_serve_incremental(benchmark, scale):
     # The editor loop's point, in wall time: a full warm pass over the
     # suite is far cheaper than the cold pass.
     assert total_warm < total_cold / 5
+
+
+# ----------------------------------------------------------------------
+# robustness overhead: supervised pool vs inline execution
+# ----------------------------------------------------------------------
+def _measure_mode(scale, pool):
+    """Cold pass then repeated warm passes over the suite against one
+    server; returns (cold_total_s, best_warm_total_s)."""
+    tmp = tempfile.mkdtemp(prefix="repro-serve-sup-bench-")
+    server = AnalysisServer(os.path.join(tmp, "serve.sock"),
+                            use_cache=False, workers=2, pool=pool)
+    server.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with ServeClient(server.socket_path) as client:
+            jobs = [(bench.name, bench.job(scale=scale).source)
+                    for bench in load_suite()]
+            start = time.perf_counter()
+            for name, source in jobs:
+                client.analyze(source, label=name)
+            cold_total = time.perf_counter() - start
+            warm_totals = []
+            for _ in range(3):
+                start = time.perf_counter()
+                for name, source in jobs:
+                    response = client.analyze(source, label=name)
+                    assert response["tiers"]["computed"] == 0, name
+                warm_totals.append(time.perf_counter() - start)
+    finally:
+        with ServeClient(server.socket_path) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+    return cold_total, min(warm_totals)
+
+
+def test_serve_supervisor_overhead(benchmark, scale):
+    """GATE: process isolation must not tax the warm path.
+
+    The supervised pool only sits on the *compute* tier; memory-LRU
+    hits never cross a process boundary, so a warm suite pass under
+    ``pool=2`` must stay within 10% (+2ms/suite slack) of inline
+    execution.  Cold-pass numbers are reported unguarded -- the
+    dispatch/IPC overhead there is the price of crash isolation.
+    """
+    (inline, supervised) = run_once(
+        benchmark,
+        lambda: (_measure_mode(scale, pool=0), _measure_mode(scale, pool=2)))
+    cold_inline, warm_inline = inline
+    cold_sup, warm_sup = supervised
+
+    table = format_table(
+        ["mode", "cold ms", "warm ms", "warm vs inline"],
+        [["inline (pool=0)", f"{cold_inline * 1e3:.2f}",
+          f"{warm_inline * 1e3:.2f}", "1.00x"],
+         ["supervised (pool=2)", f"{cold_sup * 1e3:.2f}",
+          f"{warm_sup * 1e3:.2f}",
+          f"{warm_sup / max(warm_inline, 1e-9):.2f}x"]],
+        title=(f"Supervised pool overhead, 17-benchmark suite, "
+               f"scale={scale} (full-suite wall time per pass)"))
+    print("\n" + table)
+
+    # Ride along in the serve_incremental report (satellite contract),
+    # standalone if the editor-loop bench did not run first.
+    path = os.path.join(results_dir(), "serve_incremental.txt")
+    with open(path, "a") as fh:
+        fh.write("\n" + table + "\n")
+
+    doc = {
+        "scale": scale,
+        "cold_inline_s": round(cold_inline, 6),
+        "cold_supervised_s": round(cold_sup, 6),
+        "warm_inline_s": round(warm_inline, 6),
+        "warm_supervised_s": round(warm_sup, 6),
+        "warm_overhead_ratio": round(warm_sup / max(warm_inline, 1e-9), 4),
+    }
+    with open(os.path.join(results_dir(), "BENCH_serve_supervisor.json"),
+              "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    benchmark.extra_info.update(doc)
+
+    # GATE: <10% warm overhead (plus 2ms absolute slack for timer noise
+    # on a sub-100ms suite pass).
+    assert warm_sup <= warm_inline * 1.10 + 0.002 * len(load_suite())

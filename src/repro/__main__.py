@@ -413,6 +413,12 @@ def cmd_serve(args) -> int:
                    port=args.port,
                    host=args.host,
                    workers=args.workers,
+                   pool=args.pool,
+                   deadline_ms=args.deadline_ms or None,
+                   queue_depth=args.queue_depth,
+                   idle_timeout=args.idle_timeout,
+                   drain_timeout=args.drain_timeout,
+                   worker_restarts=args.worker_restarts,
                    cache_dir=args.cache_dir,
                    use_cache=not args.no_cache,
                    lru_procedures=args.lru_procedures)
@@ -456,7 +462,8 @@ def cmd_client(args) -> int:
     from .serve import ServeClient, ServeError
 
     try:
-        client = ServeClient(args.socket, host=args.host, port=args.port)
+        client = ServeClient(args.socket, host=args.host, port=args.port,
+                             retries=args.retries)
     except OSError as exc:
         print(f"client: cannot connect: {exc}", file=sys.stderr)
         return 2
@@ -481,8 +488,9 @@ def cmd_client(args) -> int:
                 for path in args.files:
                     with open(path) as fh:
                         source = fh.read()
-                    response = client.analyze(source, label=str(path),
-                                              options=options)
+                    response = client.analyze(
+                        source, label=str(path), options=options,
+                        deadline_ms=args.deadline_ms or None)
                     failures += _client_render_analyze(response, str(path))
                 return 1 if failures else 0
             if args.action == "metrics":
@@ -683,6 +691,27 @@ def main(argv=None) -> int:
     add_endpoint_flags(p)
     p.add_argument("--workers", type=int, default=4,
                    help="max concurrently executing requests (default 4)")
+    p.add_argument("--pool", type=int, default=2,
+                   help="supervised worker processes for the compute "
+                        "tier; 0 = run fixpoints in the daemon process "
+                        "(default 2)")
+    p.add_argument("--deadline-ms", type=float, default=0,
+                   help="server-default analyze deadline in milliseconds; "
+                        "0 = none (clients can still send deadline_ms)")
+    p.add_argument("--queue-depth", type=int, default=16,
+                   help="analyze requests allowed to queue beyond "
+                        "--workers before the server sheds load with an "
+                        "'overloaded' response (default 16)")
+    p.add_argument("--idle-timeout", type=float, default=300.0,
+                   help="per-frame idle read timeout in seconds before a "
+                        "stalled client is disconnected (default 300)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="max seconds to wait for in-flight requests on "
+                        "shutdown (default 30)")
+    p.add_argument("--worker-restarts", type=int, default=5,
+                   help="consecutive pool failures before the circuit "
+                        "breaker falls back to in-process execution "
+                        "(default 5)")
     p.add_argument("--cache-dir", default=None,
                    help="disk-cache root (default: REPRO_CACHE_DIR or "
                         "~/.cache/repro)")
@@ -710,6 +739,12 @@ def main(argv=None) -> int:
     p.add_argument("--no-compile", action="store_true",
                    help="interpret edge actions instead of compiled "
                         "transfer plans")
+    p.add_argument("--deadline-ms", type=float, default=0,
+                   help="per-request deadline in milliseconds "
+                        "(analyze action; 0 = server default)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="client retries on transport faults and "
+                        "'overloaded' sheds (default 2)")
     add_robustness_flags(p)
     add_kernel_flags(p)
     p.set_defaults(func=cmd_client)

@@ -109,6 +109,31 @@ class Budget:
                 f"cells={self.cells})")
 
 
+#: Floor for deadline-derived time budgets: a request that arrives with
+#: (almost) no time left still gets a sliver of budget, so the analyzer
+#: runs its degradation ladder and returns a sound ``degraded`` answer
+#: instead of dividing by a zero-second budget.
+MIN_TIME_BUDGET = 1e-3
+
+
+def clamp_to_deadline(time_budget: Optional[float],
+                      deadline: Optional[float]) -> Optional[float]:
+    """Tighten ``time_budget`` to a monotonic ``deadline``.
+
+    ``deadline`` is an absolute :func:`time.monotonic` instant (the
+    serve request's drop-dead time); the result is the smaller of the
+    job's own time budget and the seconds remaining until the deadline,
+    floored at :data:`MIN_TIME_BUDGET`.  ``None`` deadline leaves the
+    budget untouched; both ``None`` stays unbounded.
+    """
+    if deadline is None:
+        return time_budget
+    remaining = max(MIN_TIME_BUDGET, deadline - time.monotonic())
+    if time_budget is None:
+        return remaining
+    return min(float(time_budget), remaining)
+
+
 # ----------------------------------------------------------------------
 # ambient budget: lets closure kernels checkpoint without threading a
 # Budget object through every domain operation
@@ -142,4 +167,5 @@ def charge_cells(amount: int) -> None:
         _ACTIVE.charge_cells(amount)
 
 
-__all__ = ["Budget", "active_budget", "charge_cells", "governed"]
+__all__ = ["Budget", "MIN_TIME_BUDGET", "active_budget", "charge_cells",
+           "clamp_to_deadline", "governed"]

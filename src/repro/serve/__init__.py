@@ -16,6 +16,9 @@ for procedures that actually changed.
 * :mod:`repro.serve.server` -- :class:`AnalysisServer`: accept loop,
   request handlers, budgets/degradation pass-through, SLO counters and
   Prometheus export.
+* :mod:`repro.serve.supervisor` -- :class:`WorkerSupervisor`: the
+  supervised pool of worker processes behind ``--pool``, with
+  heartbeats, deadline kills, respawn backoff and a circuit breaker.
 * :mod:`repro.serve.client` -- :class:`ServeClient`, the thin client
   behind ``python -m repro client`` and the tests.
 """
@@ -24,6 +27,7 @@ from .client import ServeClient, ServeError, wait_ready
 from .incremental import IncrementalAnalyzer
 from .protocol import MAX_MESSAGE, ProtocolError, recv_message, send_message
 from .server import AnalysisServer, default_socket_path, run_server
+from .supervisor import WorkerSupervisor
 
 __all__ = [
     "AnalysisServer",
@@ -32,6 +36,7 @@ __all__ = [
     "ProtocolError",
     "ServeClient",
     "ServeError",
+    "WorkerSupervisor",
     "default_socket_path",
     "recv_message",
     "run_server",

@@ -2,9 +2,13 @@
 
 :class:`ServeClient` wraps one socket connection in the request/
 response protocol; it is what ``python -m repro client`` and the tests
-use.  The client is deliberately dumb -- no retries, no pooling -- so
-its behaviour under failure is the protocol's behaviour, not a policy
-layered on top.
+use.  The client is deliberately thin -- the one policy it carries is
+retry: transport faults (connection reset, server closed mid-reply)
+reconnect and retry with jittered exponential backoff, and a
+structured ``overloaded`` response is retried after the server's own
+``retry_after_ms`` hint.  Every other ``ok: false`` raises
+:class:`ServeError` immediately -- a parse error will not get better
+by asking again.  ``retries=0`` restores the dumb client.
 
 :func:`wait_ready` polls until a freshly spawned daemon accepts
 connections; CI and the tests use it instead of sleeping.
@@ -12,6 +16,7 @@ connections; CI and the tests use it instead of sleeping.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Optional
@@ -21,7 +26,17 @@ from .server import default_socket_path
 
 
 class ServeError(RuntimeError):
-    """The server answered with ``ok: false``."""
+    """The server answered with ``ok: false``.
+
+    Carries the structured cause ``code`` and, for ``overloaded``
+    responses, the server's ``retry_after_ms`` backoff hint.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal",
+                 retry_after_ms: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_ms = retry_after_ms
 
 
 class ServeClient:
@@ -29,33 +44,81 @@ class ServeClient:
 
     def __init__(self, socket_path: Optional[str] = None, *,
                  host: str = "127.0.0.1", port: Optional[int] = None,
-                 timeout: Optional[float] = 60.0) -> None:
-        if port is not None:
+                 timeout: Optional[float] = 60.0, retries: int = 2,
+                 retry_base: float = 0.05, retry_cap: float = 2.0) -> None:
+        self._tcp = port is not None
+        if self._tcp:
             self.address = (host, int(port))
-            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         else:
             self.address = (socket_path if socket_path is not None
                             else default_socket_path())
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(self.address)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self._sock: Optional[socket.socket] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self.close()
+        family = socket.AF_INET if self._tcp else socket.AF_UNIX
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.address)
+        self._sock = sock
 
     # -- plumbing ------------------------------------------------------
-    def request(self, message: dict) -> dict:
-        """One round trip; raises :class:`ServeError` on ``ok: false``."""
+    def _roundtrip(self, message: dict) -> dict:
+        if self._sock is None:  # a prior reconnect attempt failed
+            self._connect()
         send_message(self._sock, message)
         response = recv_message(self._sock)
         if response is None:
             raise ProtocolError("server closed the connection")
         if not response.get("ok"):
-            raise ServeError(response.get("error", "unknown server error"))
+            raise ServeError(
+                response.get("error", "unknown server error"),
+                code=response.get("code", "internal"),
+                retry_after_ms=response.get("retry_after_ms"))
         return response
 
+    def request(self, message: dict) -> dict:
+        """One logical request; raises :class:`ServeError` on ``ok: false``.
+
+        Transport faults and ``overloaded`` sheds are retried up to
+        ``retries`` times; the last failure propagates unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._roundtrip(message)
+            except ServeError as exc:
+                # Only flow control is retryable: the server told us
+                # when to come back.  Real errors propagate at once.
+                if exc.code != "overloaded" or attempt >= self.retries:
+                    raise
+                delay = (exc.retry_after_ms or 100) / 1000.0
+            except (OSError, ProtocolError):
+                if attempt >= self.retries:
+                    raise
+                delay = min(self.retry_cap, self.retry_base * 2 ** attempt)
+            attempt += 1
+            time.sleep(delay * random.uniform(0.5, 1.5))
+            try:
+                self._connect()
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+                # Server may be mid-restart; the next loop iteration
+                # fails fast on the dead socket and backs off again.
+
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -68,10 +131,13 @@ class ServeClient:
         return self.request({"cmd": "ping"})
 
     def analyze(self, source: str, *, label: str = "",
-                options: Optional[dict] = None) -> dict:
+                options: Optional[dict] = None,
+                deadline_ms: Optional[float] = None) -> dict:
         message = {"cmd": "analyze", "source": source, "label": label}
         if options:
             message["options"] = dict(options)
+        if deadline_ms:
+            message["deadline_ms"] = deadline_ms
         return self.request(message)
 
     def status(self) -> dict:
@@ -95,8 +161,9 @@ def wait_ready(socket_path: Optional[str] = None, *,
     last: Optional[Exception] = None
     while time.monotonic() < deadline:
         try:
+            # retries=0: this loop IS the retry policy.
             with ServeClient(socket_path, host=host, port=port,
-                             timeout=2.0) as client:
+                             timeout=2.0, retries=0) as client:
                 client.ping()
             return
         except (OSError, ProtocolError, ServeError) as exc:

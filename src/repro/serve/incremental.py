@@ -40,12 +40,14 @@ digest, so a repeated identical submission skips the parser too.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import stats
+from ..core.budget import clamp_to_deadline
 from ..frontend.ast_nodes import Program
 from ..frontend.parser import parse_program
 from ..obs import metrics, trace
@@ -149,7 +151,18 @@ class IncrementalAnalyzer:
     """
 
     def __init__(self, cache: Optional[ResultCache] = None, *,
-                 lru_procedures: int = 1024, lru_programs: int = 64) -> None:
+                 lru_procedures: int = 1024, lru_programs: int = 64,
+                 executor: Optional[Callable[
+                     [AnalysisJob, Optional[float]],
+                     Tuple[JobResult, bool]]] = None) -> None:
+        #: Compute-tier strategy: ``executor(job, deadline)`` returns
+        #: ``(result, external)`` where ``external`` marks a result
+        #: computed out-of-process (its counters are not in this
+        #: thread's stats collector).  ``None`` runs
+        #: :func:`execute_job` inline -- PR 7 behavior; the serve
+        #: supervisor's :meth:`~repro.serve.supervisor.WorkerSupervisor
+        #: .execute` is the pooled strategy.
+        self.executor = executor
         self.cache = cache
         self._results = _LRU(lru_procedures, weigh=_result_weight)
         self._programs = _LRU(lru_programs)
@@ -189,23 +202,43 @@ class IncrementalAnalyzer:
                 return result, "disk"
         return None, None
 
-    def _analyze_procedure(self, job: AnalysisJob) -> Tuple[JobResult, str]:
+    def _analyze_procedure(self, job: AnalysisJob,
+                           deadline: Optional[float] = None,
+                           ) -> Tuple[JobResult, str, bool]:
+        """Tier walk for one procedure; ``(result, tier, external)``.
+
+        Cache lookups and stores always use the job's *original* key:
+        a deadline only tightens the time budget of this attempt, and
+        an ``ok`` result under a tighter budget is bit-identical to the
+        unbudgeted one (budget pressure surfaces as ``degraded``, which
+        is never cached) -- so the clamp must not fork the cache key.
+        """
         key = job.key()
         result, tier = self._lookup(key)
         if result is not None:
-            return result, tier
-        with trace.span("compute", procedure=job.label):
-            result = execute_job(job)
+            return result, tier, False
+        if self.executor is not None:
+            result, external = self.executor(job, deadline)
+        else:
+            if deadline is not None:
+                job = dataclasses.replace(
+                    job, time_budget=clamp_to_deadline(job.time_budget,
+                                                       deadline))
+            with trace.span("compute", procedure=job.label):
+                result = execute_job(job)
+            external = False
         if result.outcome == OUTCOME_OK:
+            result.key = key
             with self._lock:
                 self._results.put(key, result)
             if self.cache is not None:
                 self.cache.put(key, result)
-        return result, "computed"
+        return result, "computed", external
 
     # ------------------------------------------------------------------
     def analyze(self, source: str, *, label: str = "",
-                options: Optional[dict] = None) -> Tuple[JobResult, dict]:
+                options: Optional[dict] = None,
+                deadline: Optional[float] = None) -> Tuple[JobResult, dict]:
         """Analyze ``source``, reusing every unchanged procedure.
 
         Returns ``(result, info)``: a whole-file :class:`JobResult`
@@ -222,17 +255,23 @@ class IncrementalAnalyzer:
         threads' work.  ``result.seconds``
         sums the freshly computed procedures' analysis time -- cached
         procedures contribute zero, which is the point.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant:
+        every computed procedure's time budget is clamped to the time
+        remaining (inline or through the pool executor), so the request
+        answers by the deadline with the degradation taxonomy instead
+        of overrunning.
         """
         options = normalize_options(options)
         with stats.collecting() as collector:
             program = self._parse(source)
-            per_proc: List[Tuple[JobResult, str]] = []
+            per_proc: List[Tuple[JobResult, str, bool]] = []
             for proc in program.procedures:
                 job = AnalysisJob.for_procedure(proc, **options)
-                per_proc.append(self._analyze_procedure(job))
+                per_proc.append(self._analyze_procedure(job, deadline))
         tiers = {tier: 0 for tier in TIERS}
         proc_tiers = []
-        for (result, tier), proc in zip(per_proc, program.procedures):
+        for (result, tier, _), proc in zip(per_proc, program.procedures):
             tiers[tier] += 1
             proc_tiers.append([proc.name, tier])
         with self._lock:
@@ -247,15 +286,25 @@ class IncrementalAnalyzer:
         return merged, info
 
     def _merge(self, whole: AnalysisJob,
-               per_proc: List[Tuple[JobResult, str]], collector) -> JobResult:
-        results = [r for r, _ in per_proc]
-        fresh = [r for r, tier in per_proc if tier == "computed"]
+               per_proc: List[Tuple[JobResult, str, bool]],
+               collector) -> JobResult:
+        results = [r for r, _, _ in per_proc]
+        fresh = [r for r, tier, _ in per_proc if tier == "computed"]
         degraded = any(r.outcome == OUTCOME_DEGRADED for r in results)
         rungs: Dict[str, str] = {}
         for r in results:
             rungs.update(r.rungs)
         backend = (results[0].kernel_backend if results
                    else whole.resolved_backend())
+        # Work done by pool workers happened outside this thread's
+        # collector; fold those results' own counters in so a cold
+        # pooled request still reports its fixpoints and compiles
+        # (and a warm request still reports all zeros).
+        counters = collector.counter_summary()
+        for r, tier, external in per_proc:
+            if tier == "computed" and external:
+                for name, value in r.counters.items():
+                    counters[name] = counters.get(name, 0) + value
         return JobResult(
             key=whole.key(),
             label=whole.label,
@@ -266,7 +315,7 @@ class IncrementalAnalyzer:
             compile_transfer=whole.compile_transfer,
             checks=[c for r in results for c in r.checks],
             procedures=[p for r in results for p in r.procedures],
-            counters=collector.counter_summary(),
+            counters=counters,
             rungs=rungs,
             kernel_backend=backend,
             cached=bool(results) and not fresh,

@@ -87,11 +87,26 @@ def recv_message(sock: socket.socket) -> Optional[dict]:
     return message
 
 
-def error_response(message: str) -> dict:
-    return {"ok": False, "error": str(message)}
+#: Error-cause vocabulary: every ``ok: false`` response carries one of
+#: these in its ``code`` field, and the server counts errors per cause
+#: (``serve_errors_<cause>``) so the Prometheus export can tell client
+#: mistakes (``parse``, ``protocol``) from server faults
+#: (``worker_died``, ``internal``) and flow control (``overloaded``).
+ERROR_CAUSES = ("protocol", "parse", "interrupted", "worker_died",
+                "overloaded", "internal")
+
+
+def error_response(message: str, *, code: str = "internal",
+                   **extra) -> dict:
+    """A structured error: ``ok: false`` + cause ``code`` + extras
+    (e.g. ``retry_after_ms`` on an ``overloaded`` response)."""
+    response = {"ok": False, "error": str(message), "code": code}
+    response.update(extra)
+    return response
 
 
 __all__ = [
+    "ERROR_CAUSES",
     "MAX_MESSAGE",
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -3,17 +3,30 @@
 One :class:`AnalysisServer` owns a listening socket (Unix-domain by
 default, TCP with ``port=``), an :class:`IncrementalAnalyzer` shared by
 every connection, and the observability state that makes the daemon
-operable: request/latency/cache-tier counters, per-request spans, and
-a Prometheus rendering of the lot.
+operable: request/latency/cache-tier counters, cause-labeled error
+counters, per-request spans, and a Prometheus rendering of the lot.
 
 Concurrency model: thread-per-connection (connections are long-lived
 and mostly idle between frames) with a :class:`threading.Semaphore`
-bounding how many *requests* execute simultaneously -- the accept loop
-never blocks on analysis, and a slow client cannot starve the daemon.
-Handler threads are daemons, so a signal that stops the accept loop
-stops the process without waiting on stuck peers; the shutdown path
-unlinks the socket file and sweeps orphaned shared-memory segments, so
-a SIGTERM mid-request leaves nothing behind (pinned by the chaos
+bounding how many *analyze* requests execute simultaneously and a
+bounded admission count on top: once ``workers + queue_depth`` analyze
+requests are in flight, further ones are shed immediately with a
+structured ``overloaded`` response carrying ``retry_after_ms`` --
+backpressure, not deadlock.  Control commands (``ping``/``status``/
+``stats``/``metrics``) bypass the gate so the daemon stays observable
+under load.  Each connection has a per-frame idle read timeout, so a
+client that sends half a frame and stalls is disconnected instead of
+pinning a handler slot forever.
+
+With ``pool > 0`` the compute tier runs on a supervised pool of worker
+processes (:mod:`repro.serve.supervisor`): crashes and wedges cost a
+respawn, not the daemon; requests carry a client-supplied or
+server-default deadline that clamps each procedure's time budget.
+
+Shutdown is a graceful drain: SIGTERM stops the accept loop, in-flight
+requests finish (bounded by ``drain_timeout``), the worker pool is
+retired, and the socket file and any shared-memory segments are swept
+-- a SIGTERM mid-request leaves nothing behind (pinned by the chaos
 tests).
 """
 
@@ -26,31 +39,72 @@ import threading
 import time
 from typing import Dict, Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover -- non-POSIX platform
+    fcntl = None
+
 from .. import __version__
 from ..core import kernels
 from ..core.serialize import job_result_to_dict
-from ..errors import AnalysisInterrupted
+from ..errors import AnalysisInterrupted, WorkerDied
 from ..frontend.parser import ParseError
 from ..obs import events, metrics, trace
 from ..service import transport
 from ..service.cache import ResultCache, default_cache_root
+from ..testing import faults
 from .incremental import IncrementalAnalyzer
 from .protocol import (
-    PROTOCOL_VERSION, ProtocolError, error_response, recv_message,
-    send_message,
+    ERROR_CAUSES, PROTOCOL_VERSION, ProtocolError, error_response,
+    recv_message, send_message,
 )
+from .supervisor import WorkerSupervisor
 
 metrics.REGISTRY.counter("serve_requests", "Requests the server handled")
 metrics.REGISTRY.counter("serve_errors",
                          "Requests that produced an error response")
+for _cause in ERROR_CAUSES:
+    metrics.REGISTRY.counter(
+        f"serve_errors_{_cause}",
+        f"Requests that produced an error response (cause: {_cause})")
+metrics.REGISTRY.counter("serve_idle_closed",
+                         "Connections closed by the per-frame idle "
+                         "read timeout")
 metrics.REGISTRY.histogram("serve_request_seconds",
                            "Wall seconds per server request",
                            buckets=metrics.LATENCY_BUCKETS, label="cmd")
+
+#: Lock fds to close in forked children (pool workers): ``flock`` is
+#: per open-file-description and survives fork, so a child that keeps
+#: the fd would hold the daemon's startup lock even after the daemon is
+#: SIGKILLed -- blocking the restart the lock exists to arbitrate.
+_FORK_CLOSE_FDS = set()
+
+
+def _close_lock_fds_in_child() -> None:
+    for fd in list(_FORK_CLOSE_FDS):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _FORK_CLOSE_FDS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX
+    os.register_at_fork(after_in_child=_close_lock_fds_in_child)
 
 #: Default socket filename under the cache root.
 SOCKET_NAME = "serve.sock"
 
 COMMANDS = ("ping", "analyze", "status", "stats", "metrics", "shutdown")
+
+#: Default per-frame idle read timeout (seconds): a stalled client is
+#: disconnected after this long mid-frame or between frames.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: Default graceful-drain bound (seconds) for in-flight requests on
+#: shutdown.
+DEFAULT_DRAIN_TIMEOUT = 30.0
 
 
 def default_socket_path() -> str:
@@ -62,7 +116,13 @@ class AnalysisServer:
 
     def __init__(self, socket_path: Optional[str] = None, *,
                  host: str = "127.0.0.1", port: Optional[int] = None,
-                 workers: int = 4, cache: Optional[ResultCache] = None,
+                 workers: int = 4, pool: int = 0,
+                 deadline_ms: Optional[float] = None,
+                 queue_depth: int = 16,
+                 idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+                 worker_restarts: int = 5,
+                 cache: Optional[ResultCache] = None,
                  cache_dir: Optional[str] = None, use_cache: bool = True,
                  lru_procedures: int = 1024, lru_programs: int = 64) -> None:
         self.tcp = port is not None
@@ -73,24 +133,53 @@ class AnalysisServer:
         if cache is None and use_cache:
             cache = ResultCache(cache_dir)
         self.cache = cache
+        #: Supervised compute pool; ``pool=0`` keeps PR 7 inline
+        #: execution (every fixpoint on the handler thread).
+        self.pool = max(0, int(pool))
+        self.supervisor = (WorkerSupervisor(
+            self.pool, breaker_threshold=worker_restarts)
+            if self.pool else None)
         self.analyzer = IncrementalAnalyzer(
-            cache, lru_procedures=lru_procedures, lru_programs=lru_programs)
+            cache, lru_procedures=lru_procedures, lru_programs=lru_programs,
+            executor=(self.supervisor.execute if self.supervisor else None))
         self.workers = max(1, int(workers))
+        #: Server-default request deadline in milliseconds (None/0 =
+        #: unbounded unless the client supplies ``deadline_ms``).
+        self.deadline_ms = deadline_ms or None
+        self.queue_depth = max(0, int(queue_depth))
+        self.idle_timeout = idle_timeout or None
+        self.drain_timeout = drain_timeout
         self._request_gate = threading.Semaphore(self.workers)
+        self._admission = threading.Condition()
+        self._inflight = 0
         self._listener: Optional[socket.socket] = None
+        self._lock_fd: Optional[int] = None
         self._stopping = threading.Event()
         self._lock = threading.Lock()
         self.started_at: Optional[float] = None
         self.requests = 0
         self.errors = 0
+        self.errors_by_cause: Dict[str, int] = {c: 0 for c in ERROR_CAUSES}
+        self.idle_closed = 0
         self.connections = 0
         self.by_cmd: Dict[str, int] = {}
         self._latency: Dict[str, metrics.HistogramData] = {}
+        self._analyze_ewma: Optional[float] = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> str:
-        """Bind and listen; returns a printable address."""
+        """Bind and listen; returns a printable address.
+
+        Unix mode takes an exclusive ``flock`` on ``<socket>.lock``
+        first: two daemons racing onto the same path resolve to exactly
+        one winner *before* anyone probes or unlinks the socket file
+        (the probe alone is check-then-act and loses races).  The pool
+        workers fork before the listener exists so they never inherit
+        it.
+        """
         if self.tcp:
+            if self.supervisor is not None:
+                self.supervisor.start()
             listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             listener.bind((self.host, self.port))
@@ -99,7 +188,10 @@ class AnalysisServer:
         else:
             os.makedirs(os.path.dirname(self.socket_path) or ".",
                         exist_ok=True)
+            self._acquire_lock()
             self._clear_stale_socket()
+            if self.supervisor is not None:
+                self.supervisor.start()
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             listener.bind(self.socket_path)
             address = f"unix://{self.socket_path}"
@@ -110,8 +202,38 @@ class AnalysisServer:
         self._listener = listener
         self.started_at = time.monotonic()
         events.info("serve_listening", address=address,
-                    workers=self.workers)
+                    workers=self.workers, pool=self.pool)
         return address
+
+    def _acquire_lock(self) -> None:
+        """Exclusive flock on ``<socket>.lock`` for the daemon lifetime.
+
+        The kernel releases the lock on any exit (SIGKILL included), so
+        a crashed server never blocks the next one; the lock file
+        itself is left in place -- unlinking it would reopen the race
+        the lock exists to close.
+        """
+        if fcntl is None:
+            return
+        lock_path = self.socket_path + ".lock"
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise RuntimeError(
+                f"another server is live on {self.socket_path}")
+        self._lock_fd = fd
+        _FORK_CLOSE_FDS.add(fd)
+
+    def _release_lock(self) -> None:
+        fd, self._lock_fd = self._lock_fd, None
+        if fd is not None:
+            _FORK_CLOSE_FDS.discard(fd)
+            try:
+                os.close(fd)  # closing drops the flock
+            except OSError:
+                pass
 
     def _clear_stale_socket(self) -> None:
         """Unlink a leftover socket file iff nothing is serving on it."""
@@ -147,13 +269,20 @@ class AnalysisServer:
                 pass
 
     def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT trigger the same clean shutdown path."""
+        """SIGTERM/SIGINT trigger the same clean drain-and-stop path."""
         for signum in (signal.SIGTERM, signal.SIGINT):
             signal.signal(signum,
                           lambda sig, frame: self.stop(f"signal {sig}"))
 
     def serve_forever(self) -> None:
-        """Accept until :meth:`stop`; always leaves no socket/shm litter."""
+        """Accept until :meth:`stop`; always leaves no socket/shm litter.
+
+        The exit path is a graceful drain: in-flight requests finish
+        (bounded by ``drain_timeout``; connections merely idle in a
+        read do not count as in-flight), then the worker pool is
+        retired and every name this daemon could have left -- socket
+        file, shm segments -- is swept.
+        """
         if self._listener is None:
             self.start()
         try:
@@ -171,32 +300,106 @@ class AnalysisServer:
                 thread.start()
         finally:
             self.stop("serve_forever exit")
+            self._drain()
+            if self.supervisor is not None:
+                self.supervisor.shutdown()
             if self.socket_path is not None:
                 try:
                     os.unlink(self.socket_path)
                 except OSError:
                     pass
+            self._release_lock()
             transport.sweep_orphans()
             events.info("serve_stopped", requests=self.requests)
 
+    def _drain(self) -> None:
+        """Block until in-flight requests complete (or the bound hits)."""
+        deadline = time.monotonic() + self.drain_timeout
+        with self._admission:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    events.warning("serve_drain_timeout",
+                                   inflight=self._inflight,
+                                   timeout=self.drain_timeout)
+                    return
+                self._admission.wait(min(remaining, 0.5))
+        events.info("serve_drained")
+
+    # -- admission -----------------------------------------------------
+    def _admit(self) -> bool:
+        """Claim one in-flight analyze slot; False = shed the request."""
+        with self._admission:
+            if self._inflight >= self.workers + self.queue_depth:
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        with self._admission:
+            self._inflight -= 1
+            self._admission.notify_all()
+
+    def _retry_after_ms(self) -> int:
+        """Shed hint: roughly one smoothed analyze duration, clamped."""
+        with self._lock:
+            ewma = self._analyze_ewma
+        return int(max(50, min(5000, (ewma or 0.1) * 1000.0)))
+
     # -- connections ---------------------------------------------------
     def _serve_connection(self, conn: socket.socket) -> None:
-        conn.settimeout(None)  # idle clients may hold connections open
+        conn.settimeout(self.idle_timeout)
         try:
             while not self._stopping.is_set():
                 try:
                     request = recv_message(conn)
+                except socket.timeout:
+                    # The slow-client guard: half a frame then silence
+                    # must not pin this handler forever.
+                    events.warning("serve_idle_timeout",
+                                   seconds=self.idle_timeout)
+                    with self._lock:
+                        self.idle_closed += 1
+                    return
                 except ProtocolError as exc:
-                    send_message(conn, error_response(str(exc)))
+                    self._account("unknown", 0.0, ok=False, cause="protocol")
+                    send_message(conn, error_response(str(exc),
+                                                      code="protocol"))
                     return
                 if request is None:
                     return  # clean EOF
-                with self._request_gate:
-                    response = self._dispatch(request)
-                send_message(conn, response)
-                if response.get("stopping"):
-                    self.stop("shutdown command")
-                    return
+                cmd = request.get("cmd")
+                admitted = cmd == "analyze" and self._admit()
+                try:
+                    if cmd == "analyze" and not admitted:
+                        self._account("analyze", 0.0, ok=False,
+                                      cause="overloaded")
+                        response = error_response(
+                            "server overloaded: "
+                            f"{self.workers + self.queue_depth} analyze "
+                            "requests already in flight",
+                            code="overloaded",
+                            retry_after_ms=self._retry_after_ms())
+                        events.warning("serve_overloaded",
+                                       retry_after_ms=response["retry_after_ms"])
+                    elif admitted:
+                        with self._request_gate:
+                            response = self._dispatch(request)
+                    else:
+                        response = self._dispatch(request)
+                    if faults.fire_once("serve_conn_reset"):
+                        # Injected chaos: drop the connection after the
+                        # work, before the reply -- the client retries
+                        # and the tiers make the retry cheap.
+                        events.warning("serve_conn_reset_injected", cmd=cmd)
+                        return
+                    send_message(conn, response)
+                    if response.get("stopping"):
+                        self.stop("shutdown command")
+                        return
+                finally:
+                    if admitted:
+                        self._release()
         except OSError:
             pass  # peer vanished; nothing to clean up
         finally:
@@ -210,26 +413,32 @@ class AnalysisServer:
         start = time.perf_counter()
         if cmd not in COMMANDS:
             response = error_response(
-                f"unknown command {cmd!r} (have: {', '.join(COMMANDS)})")
+                f"unknown command {cmd!r} (have: {', '.join(COMMANDS)})",
+                code="protocol")
         else:
             with trace.span("serve_request", cmd=cmd):
                 try:
                     response = getattr(self, f"_cmd_{cmd}")(request)
                 except Exception as exc:  # noqa: BLE001 -- daemon must survive
                     response = error_response(
-                        f"{type(exc).__name__}: {exc}")
+                        f"{type(exc).__name__}: {exc}", code="internal")
         elapsed = time.perf_counter() - start
+        ok = bool(response.get("ok"))
         self._account(cmd if cmd in COMMANDS else "unknown",
-                      elapsed, ok=bool(response.get("ok")))
+                      elapsed, ok=ok,
+                      cause=None if ok else response.get("code"))
         return response
 
-    def _account(self, cmd: str, elapsed: float, *, ok: bool) -> None:
+    def _account(self, cmd: str, elapsed: float, *, ok: bool,
+                 cause: Optional[str] = None) -> None:
         key = metrics.histogram_key("serve_request_seconds", cmd)
         with self._lock:
             self.requests += 1
             self.by_cmd[cmd] = self.by_cmd.get(cmd, 0) + 1
             if not ok:
                 self.errors += 1
+                cause = cause if cause in ERROR_CAUSES else "internal"
+                self.errors_by_cause[cause] += 1
             data = self._latency.get(key)
             if data is None:
                 data = metrics.HistogramData(
@@ -241,20 +450,41 @@ class AnalysisServer:
     def _cmd_ping(self, request: dict) -> dict:
         return {"ok": True, "pong": True, "pid": os.getpid()}
 
+    def _request_deadline(self, request: dict) -> Optional[float]:
+        """Resolve the request's drop-dead instant (monotonic) or None."""
+        deadline_ms = request.get("deadline_ms", self.deadline_ms)
+        if not deadline_ms:
+            return None
+        return time.monotonic() + float(deadline_ms) / 1000.0
+
     def _cmd_analyze(self, request: dict) -> dict:
         source = request.get("source")
         if not isinstance(source, str):
-            return error_response("analyze needs a string 'source' field")
+            return error_response("analyze needs a string 'source' field",
+                                  code="parse")
         label = str(request.get("label", ""))
+        try:
+            deadline = self._request_deadline(request)
+        except (TypeError, ValueError):
+            return error_response("deadline_ms must be a number",
+                                  code="parse")
         start = time.perf_counter()
         try:
             result, info = self.analyzer.analyze(
-                source, label=label, options=request.get("options"))
+                source, label=label, options=request.get("options"),
+                deadline=deadline)
         except (ParseError, ValueError) as exc:
-            return error_response(str(exc))
+            return error_response(str(exc), code="parse")
         except AnalysisInterrupted as exc:
-            return error_response(f"analysis interrupted: {exc}")
+            return error_response(f"analysis interrupted: {exc}",
+                                  code="interrupted")
+        except WorkerDied as exc:
+            return error_response(f"analysis worker died: {exc}",
+                                  code="worker_died")
         wall = time.perf_counter() - start
+        with self._lock:
+            self._analyze_ewma = (wall if self._analyze_ewma is None
+                                  else 0.8 * self._analyze_ewma + 0.2 * wall)
         return {
             "ok": True,
             "result": job_result_to_dict(result),
@@ -278,6 +508,8 @@ class AnalysisServer:
                    else f"unix://{self.socket_path}")
         with self._lock:
             requests, connections = self.requests, self.connections
+        with self._admission:
+            inflight = self._inflight
         response = {
             "ok": True,
             "pid": os.getpid(),
@@ -285,10 +517,19 @@ class AnalysisServer:
             "protocol": PROTOCOL_VERSION,
             "address": address,
             "workers": self.workers,
+            "pool": self.pool,
+            "queue_depth": self.queue_depth,
+            "deadline_ms": self.deadline_ms,
+            "idle_timeout": self.idle_timeout,
+            "inflight": inflight,
             "uptime_seconds": uptime,
             "requests": requests,
             "connections": connections,
         }
+        if self.supervisor is not None:
+            response["breaker_open"] = self.supervisor.breaker_open()
+            response["pool_alive"] = (
+                self.supervisor.counter_summary()["serve_pool_alive"])
         lru_entries, lru_bytes = self.analyzer.lru_occupancy()
         response["lru_entries"] = lru_entries
         response["lru_bytes"] = lru_bytes
@@ -299,10 +540,16 @@ class AnalysisServer:
         with self._lock:
             counters = {"serve_requests": self.requests,
                         "serve_errors": self.errors,
-                        "serve_connections": self.connections}
+                        "serve_connections": self.connections,
+                        "serve_idle_closed": self.idle_closed}
+            counters.update({f"serve_errors_{cause}": count
+                             for cause, count
+                             in sorted(self.errors_by_cause.items())})
             counters.update({f"serve_requests_{cmd}": count
                              for cmd, count in sorted(self.by_cmd.items())})
         counters.update(self.analyzer.counter_summary())
+        if self.supervisor is not None:
+            counters.update(self.supervisor.counter_summary())
         return counters
 
     def _cmd_stats(self, request: dict) -> dict:
@@ -334,7 +581,8 @@ def run_server(args_socket: Optional[str] = None, **kwargs) -> None:
     server.install_signal_handlers()
     address = server.start()
     print(f"repro serve: listening on {address} "
-          f"(workers={server.workers}, pid={os.getpid()})", flush=True)
+          f"(workers={server.workers}, pool={server.pool}, "
+          f"pid={os.getpid()})", flush=True)
     server.serve_forever()
 
 

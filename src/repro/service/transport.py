@@ -300,6 +300,30 @@ def send_payload(conn, payload: object, *, segment: Optional[str] = None,
         _COUNTS[count_prefix + "bytes_shipped"] += len(envelope)
 
 
+def wrap_job(job) -> tuple:
+    """Envelope one job for the submission lane.
+
+    Large source text is wrapped in a :class:`_Blob` so it rides the
+    zero-copy buffer lanes instead of the pickle body; small jobs pass
+    through untouched.  The wrapped form is opaque -- feed it to
+    :func:`unwrap_job` (or embed it in a larger payload shipped with
+    :func:`send_payload`, as the serve supervisor does).
+    """
+    source = getattr(job, "source", None)
+    if isinstance(source, str) and len(source) >= JOB_BLOB_THRESHOLD:
+        stripped = dataclasses.replace(job, source="")
+        return ("src-blob", stripped, _Blob(source.encode("utf-8")))
+    return ("plain", job)
+
+
+def unwrap_job(payload: tuple):
+    """Reconstitute a job from its :func:`wrap_job` envelope."""
+    if payload[0] == "src-blob":
+        _, job, blob = payload
+        return dataclasses.replace(job, source=blob.bytes().decode("utf-8"))
+    return payload[1]
+
+
 def send_job(conn, job, *, worker_pid: int,
              parent_pid: Optional[int] = None) -> None:
     """Submit ``job`` to a worker over its job pipe (parent side).
@@ -310,12 +334,7 @@ def send_job(conn, job, *, worker_pid: int,
     *submitting* process (which under a ``spawn`` start method is not
     the worker's ``getppid`` view of the world -- hence explicit pids).
     """
-    payload: object = ("plain", job)
-    source = getattr(job, "source", None)
-    if isinstance(source, str) and len(source) >= JOB_BLOB_THRESHOLD:
-        stripped = dataclasses.replace(job, source="")
-        payload = ("src-blob", stripped, _Blob(source.encode("utf-8")))
-    send_payload(conn, payload,
+    send_payload(conn, wrap_job(job),
                  segment=job_segment_name(parent_pid or os.getpid(),
                                           worker_pid),
                  count_prefix="job_")
@@ -325,11 +344,7 @@ def recv_job(conn):
     """Receive one submitted job (worker side of the job pipe)."""
     payload, arena = recv_payload(conn, count=False)
     try:
-        if payload[0] == "src-blob":
-            _, job, blob = payload
-            return dataclasses.replace(job,
-                                       source=blob.bytes().decode("utf-8"))
-        return payload[1]
+        return unwrap_job(payload)
     finally:
         if arena is not None:
             arena.release()

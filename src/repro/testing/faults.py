@@ -28,6 +28,20 @@ Fault points wired into production code:
 ``dbm_corrupt``        :meth:`repro.core.octagon.Octagon.closure` breaks
                        matrix coherence after closing -- the paranoid
                        sentinel must catch it.
+``serve_worker_kill``  The serve supervisor directs the next dispatched
+                       worker to ``os._exit(13)`` after receiving its
+                       job (a SIGKILL/segfault mid-request).  Arg
+                       restricts to one job label.  One-shot: fired via
+                       :func:`fire_once` so the retry after respawn
+                       succeeds.
+``serve_worker_hang``  The serve supervisor directs the next dispatched
+                       worker to stop heartbeating and sleep forever (a
+                       wedged fixpoint).  Arg restricts to one job
+                       label.  One-shot.
+``serve_conn_reset``   :meth:`repro.serve.server.AnalysisServer` drops
+                       the client connection after computing a response
+                       but before sending it (a mid-reply network
+                       fault).  One-shot.
 =====================  ====================================================
 
 Each firing bumps the ``faults_injected`` stats counter.  Helpers
@@ -133,6 +147,20 @@ def fire(name: str, arg: Optional[str] = None) -> bool:
     return True
 
 
+def fire_once(name: str, arg: Optional[str] = None) -> bool:
+    """Like :func:`fire`, but disarms the point when it fires.
+
+    The serve chaos points use this: the fault hits exactly one
+    dispatch, so the supervisor's retry-after-respawn path must then
+    produce the *correct* result -- which is the recovery property the
+    chaos tests assert.
+    """
+    if fire(name, arg):
+        clear(name)
+        return True
+    return False
+
+
 # ----------------------------------------------------------------------
 # concrete fault actions (used at hook points and directly by tests)
 # ----------------------------------------------------------------------
@@ -196,6 +224,7 @@ __all__ = [
     "corrupt_octagon",
     "corrupt_sparse_octagon",
     "fire",
+    "fire_once",
     "inject",
     "injected",
     "kill_process",
