@@ -25,11 +25,21 @@ estimator but only ever *inflate* it -- a real regression shifts
 both -- so the gate (and the table) take the smaller of the two.
 """
 
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+
 from conftest import run_once
 
 from repro.bench import format_table, save_result
+from repro.bench.reporting import results_dir
 from repro.obs import metrics, trace
+from repro.serve import AnalysisServer, ServeClient
 from repro.service import run_suite
+from repro.workloads.suite import load_suite
 
 ROUNDS = 7
 
@@ -150,3 +160,98 @@ def test_obs_overhead(benchmark, scale):
         f"{ROUNDS} paired rounds) exceeds the 2% gate")
     # Enabled tracing recorded real work.
     assert result["spans"] > 0
+
+
+# ----------------------------------------------------------------------
+# the serve path: full observability plane armed
+# ----------------------------------------------------------------------
+def _measure_serve(scale, pool):
+    """Cold pass then repeated warm passes against one daemon with the
+    whole observability plane on: HTTP facade listening, per-request
+    trace-context creation, RED accounting, slow-request checks and the
+    /requestz ring all live on the measured path.  Returns
+    (cold_total_s, best_warm_total_s, facade_probe_dict)."""
+    tmp = tempfile.mkdtemp(prefix="repro-obs-serve-bench-")
+    server = AnalysisServer(os.path.join(tmp, "serve.sock"),
+                            use_cache=False, workers=2, pool=pool,
+                            http_port=0, slow_request_ms=60_000.0)
+    server.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    probe = {}
+    try:
+        with ServeClient(server.socket_path) as client:
+            jobs = [(bench.name, bench.job(scale=scale).source)
+                    for bench in load_suite()]
+            start = time.perf_counter()
+            for name, source in jobs:
+                client.analyze(source, label=name)
+            cold_total = time.perf_counter() - start
+            warm_totals = []
+            for _ in range(3):
+                start = time.perf_counter()
+                for name, source in jobs:
+                    response = client.analyze(source, label=name)
+                    assert response["tiers"]["computed"] == 0, name
+                warm_totals.append(time.perf_counter() - start)
+        base = f"http://127.0.0.1:{server.http_port}"
+        with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+            probe["healthz"] = r.status
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+            probe["metrics_bytes"] = len(r.read())
+    finally:
+        with ServeClient(server.socket_path) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+    return cold_total, min(warm_totals), probe
+
+
+def test_obs_serve_overhead(benchmark, scale):
+    """GATE: the observability plane must not tax the warm pooled path.
+
+    PR 9 gated the supervised pool's warm overhead at 1.10x of inline;
+    this PR adds trace contexts, RED rollups, the request ring and a
+    live HTTP facade to every request -- and must stay under the *same*
+    gate: warm pooled within 10% (+2ms/suite slack) of warm inline,
+    with everything armed on both sides.
+    """
+    (inline, supervised) = run_once(
+        benchmark,
+        lambda: (_measure_serve(scale, pool=0),
+                 _measure_serve(scale, pool=2)))
+    cold_inline, warm_inline, _ = inline
+    cold_sup, warm_sup, probe = supervised
+    ratio = warm_sup / max(warm_inline, 1e-9)
+
+    table = format_table(
+        ["mode", "cold ms", "warm ms", "warm vs inline"],
+        [["inline (pool=0)", f"{cold_inline * 1e3:.2f}",
+          f"{warm_inline * 1e3:.2f}", "1.00x"],
+         ["supervised (pool=2)", f"{cold_sup * 1e3:.2f}",
+          f"{warm_sup * 1e3:.2f}", f"{ratio:.2f}x"]],
+        title=(f"Observability plane on the serve path, 17-benchmark "
+               f"suite, scale={scale} (facade + tracing contexts armed)"))
+    print("\n" + table)
+    save_result("obs_serve", table)
+
+    doc = {
+        "scale": scale,
+        "cold_inline_s": round(cold_inline, 6),
+        "cold_supervised_s": round(cold_sup, 6),
+        "warm_inline_s": round(warm_inline, 6),
+        "warm_supervised_s": round(warm_sup, 6),
+        "warm_overhead_ratio": round(ratio, 4),
+        "healthz_status": probe["healthz"],
+        "metrics_bytes": probe["metrics_bytes"],
+    }
+    with open(os.path.join(results_dir(), "BENCH_obs_serve.json"),
+              "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    benchmark.extra_info.update(doc)
+
+    # The facade was alive and scrapable while the daemon was loaded.
+    assert probe["healthz"] == 200
+    assert probe["metrics_bytes"] > 0
+    # GATE: PR 9's warm bar, now with the full observability plane on.
+    assert warm_sup <= warm_inline * 1.10 + 0.002 * len(load_suite())

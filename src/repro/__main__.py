@@ -406,26 +406,52 @@ def cmd_suite(_args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .serve import run_server
+    import os as _os
 
+    from .serve import AnalysisServer
+
+    server = AnalysisServer(args.socket,
+                            port=args.port,
+                            host=args.host,
+                            workers=args.workers,
+                            pool=args.pool,
+                            deadline_ms=args.deadline_ms or None,
+                            queue_depth=args.queue_depth,
+                            idle_timeout=args.idle_timeout,
+                            drain_timeout=args.drain_timeout,
+                            worker_restarts=args.worker_restarts,
+                            cache_dir=args.cache_dir,
+                            use_cache=not args.no_cache,
+                            lru_procedures=args.lru_procedures,
+                            http_port=args.http_port,
+                            http_host=args.http_host,
+                            slow_request_ms=args.slow_request_ms or None)
     try:
-        run_server(args.socket,
-                   port=args.port,
-                   host=args.host,
-                   workers=args.workers,
-                   pool=args.pool,
-                   deadline_ms=args.deadline_ms or None,
-                   queue_depth=args.queue_depth,
-                   idle_timeout=args.idle_timeout,
-                   drain_timeout=args.drain_timeout,
-                   worker_restarts=args.worker_restarts,
-                   cache_dir=args.cache_dir,
-                   use_cache=not args.no_cache,
-                   lru_procedures=args.lru_procedures)
+        server.install_signal_handlers()
+        address = server.start()
     except (RuntimeError, OSError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
+    http = (f", http=http://{server.http_host}:{server.http_port}"
+            if server.http_port is not None else "")
+    print(f"repro serve: listening on {address} "
+          f"(workers={server.workers}, pool={server.pool}, "
+          f"pid={_os.getpid()}{http})", flush=True)
+    server.serve_forever()
+    ctx = _run_context(args)
+    if ctx is not None and ctx.active:
+        ctx.finish(counters=server._counter_snapshot(),
+                   histograms={key: data.to_dict()
+                               for key, data in server._latency.items()},
+                   requests=server.requests,
+                   errors=server.errors)
     return 0
+
+
+def cmd_top(args) -> int:
+    from .obs.console import run_top
+
+    return run_top(args.url, interval=args.interval, once=args.once)
 
 
 def _client_render_analyze(response, label: str) -> int:
@@ -450,9 +476,11 @@ def _client_render_analyze(response, label: str) -> int:
         ok = "VERIFIED" if verified else "FAILED TO PROVE"
         failures += 0 if verified else 1
         print(f"  assert({cond_text}): {ok}")
+    trace_id = response.get("trace_id")
+    trace_note = f"  trace={trace_id}" if trace_id else ""
     print(f"  tiers: memory={tiers['memory']} disk={tiers['disk']} "
           f"computed={tiers['computed']}  "
-          f"({response['request_seconds']:.4f}s)")
+          f"({response['request_seconds']:.4f}s){trace_note}")
     return failures
 
 
@@ -720,7 +748,31 @@ def main(argv=None) -> int:
     p.add_argument("--lru-procedures", type=int, default=1024,
                    help="in-memory LRU capacity in procedure results "
                         "(default 1024)")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="also serve the read-only HTTP observability "
+                        "facade (/metrics /healthz /statusz /requestz) on "
+                        "this port (0 = ephemeral; default: off)")
+    p.add_argument("--http-host", default="127.0.0.1",
+                   help="bind host for --http-port (default 127.0.0.1)")
+    p.add_argument("--slow-request-ms", type=float, default=0,
+                   metavar="MS",
+                   help="log a structured serve_slow_request event (with "
+                        "per-request counter deltas and trace id) for any "
+                        "request at or over this wall time; 0 = off")
+    add_telemetry_flags(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live ops console over a daemon's HTTP facade")
+    p.add_argument("url", metavar="URL",
+                   help="facade base URL, e.g. http://127.0.0.1:9100")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="poll interval in seconds (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame without ANSI control codes and "
+                        "exit (nonzero if the daemon is unreachable)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "client",

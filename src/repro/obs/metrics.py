@@ -218,6 +218,31 @@ class HistogramData:
         self.total += other.total
         self.sum += other.sum
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0..1) by linear interpolation
+        within the bucket that contains it -- the standard Prometheus
+        ``histogram_quantile`` estimate, so the daemon's own p50/p95
+        rollups agree with what a scraper would compute.  Returns
+        ``None`` with no observations; values in the +Inf bucket clamp
+        to the highest finite bound (the estimate is a floor there).
+        """
+        if self.total == 0:
+            return None
+        rank = q * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if i >= len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1] if self.bounds else None
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                if count == 0:
+                    return upper
+                return lower + (upper - lower) * (rank - previous) / count
+        return self.bounds[-1] if self.bounds else None
+
     def to_dict(self) -> Dict:
         return {"name": self.name, "label": self.label_value,
                 "bounds": list(self.bounds), "counts": list(self.counts),

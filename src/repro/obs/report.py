@@ -187,6 +187,69 @@ def histogram_rows(histograms: Dict[str, Dict]) -> List[List[object]]:
     return rows
 
 
+#: Worker-lifecycle and per-request events that reconstruct pool
+#: history from a ``--log-json`` artifact of a serve run.
+_SERVE_EVENTS = (
+    "serve_pool_started", "serve_pool_stopped", "serve_worker_died",
+    "serve_worker_killed", "serve_worker_respawned", "serve_breaker_open",
+    "serve_breaker_closed", "serve_job_retry", "serve_slow_request",
+)
+
+
+def server_section(records: Sequence[Dict],
+                   summary: Dict) -> List[str]:
+    """Render the server portion of a report, if the artifacts carry
+    one: serve counters, per-command latency percentiles, and the pool
+    lifecycle history (deaths, kills, respawns, breaker transitions)
+    reconstructed from the structured event log."""
+    counters = summary.get("counters") or {}
+    histograms = summary.get("histograms") or {}
+    latency = {key: raw for key, raw in histograms.items()
+               if str(raw.get("name")) == "serve_request_seconds"}
+    lifecycle = [r for r in records if r.get("event") in _SERVE_EVENTS]
+    if not (counters.get("serve_requests") or latency or lifecycle):
+        return []
+    lines: List[str] = ["Server:"]
+    facts = [[key, counters[key]] for key in (
+        "serve_requests", "serve_errors", "serve_connections",
+        "serve_pool_jobs", "serve_pool_inline", "worker_restarts",
+        "worker_crashes", "worker_hangs", "serve_breaker_opens")
+        if counters.get(key)]
+    if facts:
+        lines.append(_table(["counter", "value"], facts))
+    if latency:
+        rows = []
+        for key in sorted(latency):
+            data = metrics.HistogramData.from_dict(latency[key])
+            p50, p95 = data.quantile(0.5), data.quantile(0.95)
+            mean = data.sum / data.total if data.total else 0.0
+            rows.append([data.label_value or "", data.total,
+                         f"{mean * 1e3:.3f}",
+                         f"{(p50 or 0.0) * 1e3:.3f}",
+                         f"{(p95 or 0.0) * 1e3:.3f}"])
+        lines.append("")
+        lines.append("Per-command request latency:")
+        lines.append(_table(
+            ["command", "count", "mean ms", "p50 ms", "p95 ms"], rows))
+    if lifecycle:
+        lines.append("")
+        lines.append(f"Pool lifecycle ({len(lifecycle)} event(s)):")
+        for record in lifecycle[:30]:
+            fields = {k: v for k, v in record.items()
+                      if k not in ("ts", "level", "event", "run")
+                      and v is not None}
+            parts = []
+            for k, v in sorted(fields.items()):
+                text = str(v)
+                if len(text) > 60:  # e.g. slow-request counter deltas
+                    text = text[:57] + "..."
+                parts.append(f"{k}={text}")
+            lines.append(f"  {record.get('event')} " + " ".join(parts))
+        if len(lifecycle) > 30:
+            lines.append(f"  ... {len(lifecycle) - 30} more")
+    return lines
+
+
 def render_report(log_path: str,
                   trace_path: Optional[str] = None) -> str:
     """Render a human-readable run report from exported artifacts."""
@@ -238,9 +301,14 @@ def render_report(log_path: str,
         out.append("Distributions:")
         out.append(_table(["histogram", "count", "mean"], rows))
 
+    server_lines = server_section(records, summary)
+    if server_lines:
+        out.append("")
+        out.extend(server_lines)
+
     warn_events = [r for r in records
                    if r.get("level") in ("warning", "error")
-                   and r.get("event") not in ("run_summary",)]
+                   and r.get("event") not in ("run_summary",) + _SERVE_EVENTS]
     if warn_events:
         out.append("")
         out.append(f"Diagnostics ({len(warn_events)} warning/error events):")
@@ -260,4 +328,5 @@ __all__ = [
     "operator_rows",
     "phase_rows",
     "render_report",
+    "server_section",
 ]

@@ -32,15 +32,24 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import threading
 import time
+import uuid
+from contextlib import contextmanager
 from typing import Dict, List, Optional
 
 _ENABLED = False
 _EVENTS: List[dict] = []
 _LOCK = threading.Lock()
+
+# Ambient request context (thread-local): the serve tier parks the
+# active TraceContext here around each request so every layer below --
+# down to the supervisor's dispatch path -- can stamp outgoing jobs
+# without threading an argument through the executor contract.
+_CONTEXT = threading.local()
 
 # Small stable ids instead of raw thread idents: lane 0 is reserved,
 # real threads count up from 1, synthetic job lanes from 1000.
@@ -82,6 +91,57 @@ def _tid() -> int:
         with _LOCK:
             tid = _THREAD_IDS.setdefault(ident, len(_THREAD_IDS) + 1)
     return tid
+
+
+def current_lane() -> int:
+    """The calling thread's stable trace lane id (public: the serve
+    tier records it as :attr:`TraceContext.parent`)."""
+    return _tid()
+
+
+# ----------------------------------------------------------------------
+# request-scoped trace context
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """Identity of one serve request, propagated across the pool.
+
+    Chrome ``ph="X"`` events carry no parent pointers -- nesting is
+    implied by time containment within one ``(pid, tid)`` lane -- so
+    the context is not a span *pointer* but a span *address*: the
+    ``trace_id`` names the request, ``parent`` is the lane (thread id)
+    of the originating ``serve_request`` span in the daemon, and
+    ``deadline`` (absolute ``perf_counter`` seconds, or ``None``) rides
+    along so workers can see the same budget the dispatcher enforces.
+    Workers tag their spans with the id; :func:`adopt_into_current`
+    rewrites them onto the caller's lane, where time containment under
+    the still-open ``serve_request`` span restores the tree.
+    """
+
+    trace_id: str
+    parent: int = 0
+    deadline: Optional[float] = None
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit request id (random, not time-derived)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext` of this thread, if any."""
+    return getattr(_CONTEXT, "value", None)
+
+
+@contextmanager
+def context(ctx: Optional[TraceContext]):
+    """Install ``ctx`` as this thread's ambient context for the block."""
+    previous = getattr(_CONTEXT, "value", None)
+    _CONTEXT.value = ctx
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.value = previous
 
 
 # ----------------------------------------------------------------------
@@ -237,6 +297,42 @@ def adopt(worker_events: List[dict], lane: int) -> int:
     return adopted
 
 
+def adopt_into_current(worker_events: List[dict],
+                       trace_id: Optional[str] = None) -> int:
+    """Re-parent a worker's span events onto the *calling thread's* lane.
+
+    The serve path's analogue of :func:`adopt`: where the batch
+    scheduler gives each job a synthetic lane, a serve request wants
+    the worker's spans nested under the ``serve_request`` span that is
+    still open on this very thread -- so the events are rewritten to
+    this pid and this thread's lane.  Timestamps are shared-epoch
+    ``perf_counter`` values, so time containment puts them inside the
+    enclosing request span without further bookkeeping.  ``trace_id``
+    (when given) is stamped into each event's args alongside the
+    originating ``worker_pid``.  Returns the number of events adopted.
+    """
+    if not _ENABLED:
+        return 0
+    pid = os.getpid()
+    lane = _tid()
+    adopted = 0
+    with _LOCK:
+        for event in worker_events:
+            if event.get("ph") == "M":
+                continue
+            copied = dict(event)
+            args = dict(copied.get("args") or {})
+            args.setdefault("worker_pid", event.get("pid"))
+            if trace_id is not None:
+                args.setdefault("trace_id", trace_id)
+            copied["args"] = args
+            copied["pid"] = pid
+            copied["tid"] = lane
+            _EVENTS.append(copied)
+            adopted += 1
+    return adopted
+
+
 # ----------------------------------------------------------------------
 # export
 # ----------------------------------------------------------------------
@@ -300,7 +396,12 @@ def validate_chrome_trace(document) -> int:
 __all__ = [
     "NULL_SPAN",
     "Span",
+    "TraceContext",
     "adopt",
+    "adopt_into_current",
+    "context",
+    "current_context",
+    "current_lane",
     "disable",
     "emit",
     "enable",
@@ -309,6 +410,7 @@ __all__ = [
     "export",
     "load",
     "new_lane",
+    "new_trace_id",
     "reset",
     "session",
     "span",

@@ -28,15 +28,20 @@ from .server import default_socket_path
 class ServeError(RuntimeError):
     """The server answered with ``ok: false``.
 
-    Carries the structured cause ``code`` and, for ``overloaded``
-    responses, the server's ``retry_after_ms`` backoff hint.
+    Carries the structured cause ``code``; for ``overloaded``
+    responses, the server's ``retry_after_ms`` backoff hint; and the
+    request's ``trace_id`` when the server assigned one -- the handle
+    that finds the failing request in the daemon's slow-request log,
+    ``/requestz`` ring and exported trace.
     """
 
     def __init__(self, message: str, *, code: str = "internal",
-                 retry_after_ms: Optional[int] = None) -> None:
+                 retry_after_ms: Optional[int] = None,
+                 trace_id: Optional[str] = None) -> None:
         super().__init__(message)
         self.code = code
         self.retry_after_ms = retry_after_ms
+        self.trace_id = trace_id
 
 
 class ServeClient:
@@ -79,7 +84,8 @@ class ServeClient:
             raise ServeError(
                 response.get("error", "unknown server error"),
                 code=response.get("code", "internal"),
-                retry_after_ms=response.get("retry_after_ms"))
+                retry_after_ms=response.get("retry_after_ms"),
+                trace_id=response.get("trace_id"))
         return response
 
     def request(self, message: dict) -> dict:

@@ -1,0 +1,125 @@
+"""HTTP observability facade for the analysis daemon.
+
+The daemon's native protocol is length-prefixed JSON over its own
+socket -- fine for :class:`~repro.serve.client.ServeClient`, opaque to
+everything an operator already runs.  This module puts a **read-only**
+stdlib ``http.server`` endpoint beside the daemon (``serve
+--http-port``) so standard tooling can see in without speaking the
+analysis protocol:
+
+* ``GET /metrics``  -- Prometheus text exposition 0.0.4 (the same
+  snapshot the ``metrics`` protocol command renders): serve counters,
+  per-command latency histograms, pool/breaker/cache counters.
+* ``GET /healthz``  -- liveness/readiness: ``200`` when serving,
+  ``503`` while stopping, while the circuit breaker is open, or when a
+  configured worker pool has zero live workers.  The body is a small
+  JSON document naming the failing condition.
+* ``GET /statusz`` -- the full ``status`` JSON (uptime, in-flight,
+  LRU occupancy, RED rollups) plus the supervisor's worker table.
+* ``GET /requestz`` -- the recent-request ring buffer: per-request
+  command, label, wall seconds, outcome, cache tiers and trace id.
+
+The facade is deliberately passive: every route renders state the
+daemon already maintains, no route mutates anything, and the listener
+binds ``127.0.0.1`` by default.  Handler threads come from
+``ThreadingHTTPServer`` and never touch the analysis request gate, so
+the endpoint stays responsive while the daemon is saturated -- the
+same reason ``status`` bypasses admission control.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..obs import events
+
+#: Routes the facade serves, for 404 bodies and the docs.
+ROUTES = ("/metrics", "/healthz", "/statusz", "/requestz")
+
+
+class _FacadeHandler(BaseHTTPRequestHandler):
+    """One request; ``self.server.analysis`` is the AnalysisServer."""
+
+    server_version = "repro-obs/1"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the daemon's
+    # structured event stream is the log of record, so stay quiet.
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        pass
+
+    def do_GET(self) -> None:
+        daemon = self.server.analysis
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._reply(200, daemon.prometheus(),
+                        content_type="text/plain; version=0.0.4; "
+                                     "charset=utf-8")
+        elif path == "/healthz":
+            healthy, doc = daemon.health()
+            self._json(200 if healthy else 503, doc)
+        elif path == "/statusz":
+            self._json(200, daemon.status_document())
+        elif path == "/requestz":
+            self._json(200, {"recent": daemon.recent_requests()})
+        else:
+            self._json(404, {"error": f"unknown route {path!r}",
+                             "routes": list(ROUTES)})
+
+    def do_HEAD(self) -> None:  # health probes often use HEAD
+        self.do_GET()
+
+    def _json(self, code: int, doc: dict) -> None:
+        self._reply(code, json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    content_type="application/json")
+
+    def _reply(self, code: int, body: str, *, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(payload)
+
+
+class ObservabilityHTTPD:
+    """The facade's listener lifecycle, owned by one AnalysisServer."""
+
+    def __init__(self, analysis_server, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.analysis = analysis_server
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port
+        (useful with ``port=0``, which lets the kernel pick)."""
+        httpd = ThreadingHTTPServer((self.host, self.port), _FacadeHandler)
+        httpd.daemon_threads = True
+        httpd.analysis = self.analysis
+        self.port = httpd.server_address[1]
+        self._httpd = httpd
+        self._thread = threading.Thread(target=httpd.serve_forever,
+                                        name="serve-httpd", daemon=True)
+        self._thread.start()
+        events.info("serve_http_listening", host=self.host, port=self.port)
+        return self.port
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+__all__ = ["ObservabilityHTTPD", "ROUTES"]

@@ -227,6 +227,16 @@ class IncrementalAnalyzer:
             with trace.span("compute", procedure=job.label):
                 result = execute_job(job)
             external = False
+        # Fresh computations carry their span batch on the result --
+        # collected by execute_job's trace session, in a pool worker or
+        # right here -- and it is adopted exactly once, at the moment
+        # the result is fresh: cache hits return the same object later,
+        # and re-adopting would duplicate the (stale) spans.
+        if trace.enabled() and result.trace_events:
+            ctx = trace.current_context()
+            trace.adopt_into_current(
+                result.trace_events,
+                trace_id=ctx.trace_id if ctx is not None else None)
         if result.outcome == OUTCOME_OK:
             result.key = key
             with self._lock:

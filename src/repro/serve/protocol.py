@@ -8,9 +8,13 @@ frames before allocating; JSON keeps the protocol inspectable with
 
 Requests are objects with a ``cmd`` field (``ping``, ``analyze``,
 ``status``, ``stats``, ``metrics``, ``shutdown``); responses are
-objects with an ``ok`` boolean (plus ``error`` text when false).  The
-connection is strictly request/response: the client writes one frame,
-reads one frame, and may repeat -- connections are cheap but reusable.
+objects with an ``ok`` boolean (plus ``error`` text when false) and a
+``trace_id`` naming the request server-side -- the same id appears in
+the daemon's slow-request log, ``GET /requestz`` ring and exported
+span tree, so a client can hand an operator the exact handle to its
+request.  The connection is strictly request/response: the client
+writes one frame, reads one frame, and may repeat -- connections are
+cheap but reusable.
 """
 
 from __future__ import annotations

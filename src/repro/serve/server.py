@@ -37,7 +37,8 @@ import signal
 import socket
 import threading
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Dict, List, Optional, Tuple
 
 try:
     import fcntl
@@ -53,6 +54,7 @@ from ..obs import events, metrics, trace
 from ..service import transport
 from ..service.cache import ResultCache, default_cache_root
 from ..testing import faults
+from .httpd import ObservabilityHTTPD
 from .incremental import IncrementalAnalyzer
 from .protocol import (
     ERROR_CAUSES, PROTOCOL_VERSION, ProtocolError, error_response,
@@ -124,7 +126,10 @@ class AnalysisServer:
                  worker_restarts: int = 5,
                  cache: Optional[ResultCache] = None,
                  cache_dir: Optional[str] = None, use_cache: bool = True,
-                 lru_procedures: int = 1024, lru_programs: int = 64) -> None:
+                 lru_procedures: int = 1024, lru_programs: int = 64,
+                 http_port: Optional[int] = None, http_host: str = "127.0.0.1",
+                 slow_request_ms: Optional[float] = None,
+                 requestz_size: int = 64) -> None:
         self.tcp = port is not None
         self.host = host
         self.port = port
@@ -165,6 +170,14 @@ class AnalysisServer:
         self.by_cmd: Dict[str, int] = {}
         self._latency: Dict[str, metrics.HistogramData] = {}
         self._analyze_ewma: Optional[float] = None
+        #: HTTP observability facade (``None`` keeps it off).
+        self.http_port = http_port
+        self.http_host = http_host
+        self._httpd: Optional[ObservabilityHTTPD] = None
+        #: Slow-request log threshold in milliseconds (None = off).
+        self.slow_request_ms = slow_request_ms or None
+        #: Recent-request ring buffer behind ``GET /requestz``.
+        self._recent: "deque" = deque(maxlen=max(1, int(requestz_size)))
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> str:
@@ -201,8 +214,13 @@ class AnalysisServer:
         listener.settimeout(0.2)
         self._listener = listener
         self.started_at = time.monotonic()
+        if self.http_port is not None:
+            self._httpd = ObservabilityHTTPD(self, host=self.http_host,
+                                             port=self.http_port)
+            self.http_port = self._httpd.start()
         events.info("serve_listening", address=address,
-                    workers=self.workers, pool=self.pool)
+                    workers=self.workers, pool=self.pool,
+                    http_port=self.http_port)
         return address
 
     def _acquire_lock(self) -> None:
@@ -301,6 +319,8 @@ class AnalysisServer:
         finally:
             self.stop("serve_forever exit")
             self._drain()
+            if self._httpd is not None:
+                self._httpd.stop()
             if self.supervisor is not None:
                 self.supervisor.shutdown()
             if self.socket_path is not None:
@@ -411,22 +431,45 @@ class AnalysisServer:
     def _dispatch(self, request: dict) -> dict:
         cmd = request.get("cmd")
         start = time.perf_counter()
+        trace_id: Optional[str] = None
         if cmd not in COMMANDS:
             response = error_response(
                 f"unknown command {cmd!r} (have: {', '.join(COMMANDS)})",
                 code="protocol")
         else:
-            with trace.span("serve_request", cmd=cmd):
+            deadline = None
+            if cmd == "analyze":
+                try:
+                    deadline = self._request_deadline(request)
+                except (TypeError, ValueError):
+                    deadline = None  # _cmd_analyze reports the error
+            # The request's trace identity: the id names it in the
+            # slow-request log and ring buffer whether or not spans are
+            # being recorded; when they are, the ambient context rides
+            # every job to the pool workers and their span batches come
+            # home re-parented under this serve_request span.
+            ctx = trace.TraceContext(trace.new_trace_id(),
+                                     parent=trace.current_lane(),
+                                     deadline=deadline)
+            trace_id = ctx.trace_id
+            with trace.context(ctx), \
+                    trace.span("serve_request", cmd=cmd, trace_id=trace_id):
                 try:
                     response = getattr(self, f"_cmd_{cmd}")(request)
                 except Exception as exc:  # noqa: BLE001 -- daemon must survive
                     response = error_response(
                         f"{type(exc).__name__}: {exc}", code="internal")
+        if trace_id is not None:
+            # Every response names its request: the client-side exemplar
+            # matching the slow-request log, /requestz and the exported
+            # span tree.
+            response.setdefault("trace_id", trace_id)
         elapsed = time.perf_counter() - start
         ok = bool(response.get("ok"))
         self._account(cmd if cmd in COMMANDS else "unknown",
                       elapsed, ok=ok,
                       cause=None if ok else response.get("code"))
+        self._note_request(cmd, request, response, elapsed, ok, trace_id)
         return response
 
     def _account(self, cmd: str, elapsed: float, *, ok: bool,
@@ -445,6 +488,42 @@ class AnalysisServer:
                     "serve_request_seconds", metrics.LATENCY_BUCKETS, cmd)
                 self._latency[key] = data
             data.observe(elapsed)
+
+    def _note_request(self, cmd: str, request: dict, response: dict,
+                      elapsed: float, ok: bool,
+                      trace_id: Optional[str]) -> None:
+        """Per-request accounting: ring buffer plus the slow-request log.
+
+        The record carries the request's *own* counter deltas (the
+        analyzer's per-request collector output, pool workers folded
+        in) and its trace id as exemplar -- enough to go from one slow
+        line straight to the matching spans in an exported trace.
+        """
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 3),
+            "cmd": cmd if cmd in COMMANDS else "unknown",
+            "label": str(request.get("label", "")) or None,
+            "seconds": round(elapsed, 6),
+            "ok": ok,
+            "trace_id": trace_id,
+        }
+        if not ok:
+            record["code"] = response.get("code")
+        if cmd == "analyze" and ok:
+            record["tiers"] = response.get("tiers")
+            counters = (response.get("result") or {}).get("counters") or {}
+            record["counters"] = {name: value for name, value
+                                  in sorted(counters.items()) if value}
+        with self._lock:
+            self._recent.append(record)
+        threshold = self.slow_request_ms
+        if threshold is not None and elapsed * 1000.0 >= threshold:
+            events.warning("serve_slow_request",
+                           cmd=record["cmd"], label=record["label"],
+                           seconds=record["seconds"],
+                           threshold_ms=threshold, trace_id=trace_id,
+                           tiers=record.get("tiers"),
+                           counters=record.get("counters"))
 
     # -- command handlers ----------------------------------------------
     def _cmd_ping(self, request: dict) -> dict:
@@ -530,11 +609,85 @@ class AnalysisServer:
             response["breaker_open"] = self.supervisor.breaker_open()
             response["pool_alive"] = (
                 self.supervisor.counter_summary()["serve_pool_alive"])
+            response["worker_table"] = self.supervisor.worker_table()
         lru_entries, lru_bytes = self.analyzer.lru_occupancy()
         response["lru_entries"] = lru_entries
         response["lru_bytes"] = lru_bytes
+        response["http_port"] = self.http_port
+        response["slow_request_ms"] = self.slow_request_ms
+        response["red"] = self.red_summary()
         response.update(self._config())
         return response
+
+    def red_summary(self) -> dict:
+        """RED rollups: request rate, errors by cause, and per-command
+        duration percentiles from the live latency histograms."""
+        uptime = (time.monotonic() - self.started_at
+                  if self.started_at is not None else 0.0)
+        commands: Dict[str, dict] = {}
+        with self._lock:
+            requests, errors = self.requests, self.errors
+            by_cause = {cause: count for cause, count
+                        in sorted(self.errors_by_cause.items()) if count}
+            for data in self._latency.values():
+                p50, p95 = data.quantile(0.5), data.quantile(0.95)
+                commands[data.label_value or ""] = {
+                    "count": data.total,
+                    "mean_ms": (round(data.sum / data.total * 1e3, 3)
+                                if data.total else None),
+                    "p50_ms": (round(p50 * 1e3, 3)
+                               if p50 is not None else None),
+                    "p95_ms": (round(p95 * 1e3, 3)
+                               if p95 is not None else None),
+                }
+        return {
+            "rate_per_s": (round(requests / uptime, 4)
+                           if uptime > 0 else 0.0),
+            "requests": requests,
+            "errors": errors,
+            "errors_by_cause": by_cause,
+            "commands": dict(sorted(commands.items())),
+        }
+
+    # -- HTTP facade surface (read-only; see serve/httpd.py) -----------
+    def prometheus(self) -> str:
+        """The Prometheus exposition behind ``GET /metrics``."""
+        return self._cmd_metrics({})["prometheus"]
+
+    def health(self) -> Tuple[bool, dict]:
+        """``(healthy, document)`` behind ``GET /healthz``.
+
+        Unhealthy while stopping, while the pool circuit breaker is
+        open, or when a configured pool has zero live workers -- the
+        states in which an analyze request would be degraded to inline
+        execution or refused outright.
+        """
+        stopping = self._stopping.is_set()
+        doc: Dict[str, object] = {"stopping": stopping, "pool": self.pool}
+        healthy = not stopping and self.started_at is not None
+        if self.supervisor is not None:
+            breaker = self.supervisor.breaker_open()
+            alive = self.supervisor.counter_summary()["serve_pool_alive"]
+            doc["breaker_open"] = breaker
+            doc["pool_alive"] = alive
+            if breaker or alive == 0:
+                healthy = False
+        doc["ok"] = healthy
+        return healthy, doc
+
+    def status_document(self) -> dict:
+        """The JSON document behind ``GET /statusz``: the ``status``
+        response plus the full counter snapshot (the live console
+        derives tier hit rates from it)."""
+        doc = self._cmd_status({})
+        doc["counters"] = self._counter_snapshot()
+        return doc
+
+    def recent_requests(self) -> List[dict]:
+        """Snapshot of the ring buffer behind ``GET /requestz``
+        (oldest first)."""
+        with self._lock:
+            return list(self._recent)
 
     def _counter_snapshot(self) -> Dict[str, int]:
         with self._lock:

@@ -52,7 +52,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.budget import clamp_to_deadline
 from ..errors import WorkerDied
-from ..obs import events, metrics
+from ..obs import events, metrics, trace
 from ..service import transport
 from ..service.job import AnalysisJob, JobResult, execute_job
 from ..service.scheduler import _context
@@ -127,10 +127,17 @@ def _worker_main(job_recv, res_send, hb_interval: float,
             if payload[0] == "exit":
                 break
             _, seq, wrapped, directives = payload
-            job = transport.unwrap_job(wrapped)
+            job, ctx = transport.unwrap_job_ctx(wrapped)
         finally:
             if arena is not None:
                 arena.release()
+        if ctx is not None and "trace" not in job.telemetry:
+            # The dispatching daemon is tracing this request: arm the
+            # job so execute_job opens a span session and returns the
+            # events with the result.  The telemetry tuple is excluded
+            # from the cache key, so this changes nothing downstream.
+            job = dataclasses.replace(job,
+                                      telemetry=job.telemetry + ("trace",))
         if directives.get("kill"):
             # Injected chaos: die the way a segfault does, mid-job.
             os._exit(13)
@@ -157,13 +164,15 @@ class _PoolJob:
     """One submitted job's rendezvous between handler and loop thread."""
 
     __slots__ = ("job", "deadline", "seq", "attempts", "done", "result",
-                 "arena", "error", "fallback")
+                 "arena", "error", "fallback", "ctx")
 
     def __init__(self, job: AnalysisJob, deadline: Optional[float],
-                 seq: int) -> None:
+                 seq: int,
+                 ctx: Optional[trace.TraceContext] = None) -> None:
         self.job = job
         self.deadline = deadline
         self.seq = seq
+        self.ctx = ctx
         self.attempts = 0
         self.done = threading.Event()
         self.result: Optional[JobResult] = None
@@ -236,6 +245,7 @@ class WorkerSupervisor:
 
         self._consecutive_failures = 0
         self._breaker_open_until = 0.0
+        self._breaker_was_open = False
         self.counters: Dict[str, int] = {
             "worker_restarts": 0,
             "worker_crashes": 0,
@@ -343,7 +353,11 @@ class WorkerSupervisor:
         if (not self._started or self._stopping.is_set()
                 or self._breaker_is_open()):
             return self._inline(job, deadline), False
-        pool_job = _PoolJob(job, deadline, self._next_seq())
+        # Capture the request's trace identity on the handler thread --
+        # it rides the submission envelope so the worker's spans carry
+        # the same trace id, and retries re-parent under it.
+        ctx = trace.current_context() if trace.enabled() else None
+        pool_job = _PoolJob(job, deadline, self._next_seq(), ctx)
         with self._lock:
             self._pending.append(pool_job)
         self._wake()
@@ -384,7 +398,16 @@ class WorkerSupervisor:
     # -- breaker -------------------------------------------------------
     def _breaker_is_open(self) -> bool:
         with self._lock:
-            return time.monotonic() < self._breaker_open_until
+            open_now = time.monotonic() < self._breaker_open_until
+            closed = self._breaker_was_open and not open_now
+            if closed:
+                self._breaker_was_open = False
+        if closed:
+            # The cooldown lapsed: the first check after expiry logs the
+            # close so log artifacts show the full open/close history.
+            events.info("serve_breaker_closed",
+                        cooldown_seconds=self.breaker_cooldown)
+        return open_now
 
     def breaker_open(self) -> bool:
         """Public read of the breaker state (status surface)."""
@@ -401,6 +424,7 @@ class WorkerSupervisor:
                 self._breaker_open_until = (time.monotonic()
                                             + self.breaker_cooldown)
                 self._consecutive_failures = 0
+                self._breaker_was_open = True
                 self.counters["serve_breaker_opens"] += 1
         if tripped:
             events.warning("serve_breaker_open",
@@ -519,7 +543,8 @@ class WorkerSupervisor:
         try:
             transport.send_payload(
                 worker.job_conn,
-                ("job", pool_job.seq, transport.wrap_job(job), directives),
+                ("job", pool_job.seq,
+                 transport.wrap_job(job, pool_job.ctx), directives),
                 segment=transport.job_segment_name(os.getpid(), worker.pid),
                 count_prefix="job_")
         except (OSError, ValueError):
@@ -569,8 +594,7 @@ class WorkerSupervisor:
             pool_job.resolve()
         else:  # "err": the job raised in the worker; worker is healthy
             if pool_job.attempts <= self.retries:
-                events.warning("serve_job_retry", label=pool_job.job.label,
-                               attempt=pool_job.attempts + 1)
+                self._note_retry(pool_job, "job-error", worker)
                 with self._lock:
                     self._pending.append(pool_job)
             else:
@@ -592,15 +616,18 @@ class WorkerSupervisor:
         delay = min(self.backoff_cap,
                     self.backoff_base * (2 ** (worker.fails - 1)))
         worker.respawn_at = time.monotonic() + delay
-        events.warning("serve_worker_died", pid=pid, exitcode=exitcode,
-                       respawn_in=round(delay, 3))
+        events.warning("serve_worker_died", pid=pid, slot=worker.idx,
+                       exitcode=exitcode, respawn_in=round(delay, 3),
+                       label=pool_job.job.label if pool_job else None)
         self._record_failure("worker_crashes")
         if pool_job is not None:
-            self._requeue_or_fail(pool_job, WorkerDied(exitcode,
-                                                       stage="serve pool"))
+            self._requeue_or_fail(pool_job,
+                                  WorkerDied(exitcode, stage="serve pool"),
+                                  worker=worker)
 
     def _requeue_or_fail(self, pool_job: _PoolJob,
-                         error: BaseException) -> None:
+                         error: BaseException,
+                         worker: Optional[_Worker] = None) -> None:
         now = time.monotonic()
         expired = (pool_job.deadline is not None
                    and now >= pool_job.deadline)
@@ -611,13 +638,36 @@ class WorkerSupervisor:
             pool_job.fallback = "breaker"
             pool_job.resolve()
         elif pool_job.attempts <= self.retries:
-            events.warning("serve_job_retry", label=pool_job.job.label,
-                           attempt=pool_job.attempts + 1)
+            self._note_retry(pool_job, "worker-died", worker)
             with self._lock:
                 self._pending.append(pool_job)
         else:
             pool_job.error = error
             pool_job.resolve()
+
+    def _note_retry(self, pool_job: _PoolJob, cause: str,
+                    worker: Optional[_Worker] = None) -> None:
+        """One retry decision: structured event plus a trace marker.
+
+        The marker is a zero-duration span on the originating request's
+        lane (``ctx.parent``), so the respawned attempt's spans and the
+        retry itself both sit under the same ``serve_request`` -- the
+        trace shows the kill/retry/redo sequence end to end.
+        """
+        trace_id = pool_job.ctx.trace_id if pool_job.ctx else None
+        events.warning("serve_job_retry", label=pool_job.job.label,
+                       attempt=pool_job.attempts + 1, cause=cause,
+                       worker_slot=worker.idx if worker else None,
+                       worker_pid=worker.pid if worker else None,
+                       trace_id=trace_id)
+        if pool_job.ctx is not None and trace.enabled():
+            now = time.perf_counter()
+            trace.emit("serve_job_retry", now, now,
+                       tid=pool_job.ctx.parent or None,
+                       args={"trace_id": trace_id,
+                             "label": pool_job.job.label,
+                             "attempt": pool_job.attempts + 1,
+                             "cause": cause})
 
     def _kill_expired(self) -> None:
         """Kill busy workers past their job deadline or heartbeat window."""
@@ -651,14 +701,16 @@ class WorkerSupervisor:
         delay = min(self.backoff_cap,
                     self.backoff_base * (2 ** (worker.fails - 1)))
         worker.respawn_at = time.monotonic() + delay
-        events.warning("serve_worker_killed", pid=pid, reason=why,
+        events.warning("serve_worker_killed", pid=pid, slot=worker.idx,
+                       reason=why,
                        label=pool_job.job.label if pool_job else None,
                        respawn_in=round(delay, 3))
         self._record_failure("worker_hangs")
         if pool_job is not None:
             self._requeue_or_fail(
                 pool_job,
-                WorkerDied(-9, stage=f"killed as wedged ({why})"))
+                WorkerDied(-9, stage=f"killed as wedged ({why})"),
+                worker=worker)
 
     def _respawn_due(self) -> None:
         now = time.monotonic()
@@ -691,6 +743,32 @@ class WorkerSupervisor:
         out["serve_pool_alive"] = sum(1 for w in self._workers
                                       if w.state != _DEAD)
         return out
+
+    def worker_table(self) -> List[Dict[str, object]]:
+        """Best-effort snapshot of every pool slot (status surface).
+
+        Worker state belongs to the loop thread; this reads it without
+        coordination, so a row can be a step stale -- fine for an ops
+        view, never used for control decisions.
+        """
+        now = time.monotonic()
+        rows: List[Dict[str, object]] = []
+        for worker in self._workers:
+            current = worker.current
+            rows.append({
+                "slot": worker.idx,
+                "pid": worker.pid,
+                "state": worker.state,
+                "label": current.job.label if current is not None else None,
+                "busy_seconds": (round(now - worker.busy_since, 3)
+                                 if worker.state == _BUSY else 0.0),
+                "fails": worker.fails,
+                "respawn_in": (round(max(0.0, worker.respawn_at - now), 3)
+                               if (worker.state == _DEAD
+                                   and worker.respawn_at is not None)
+                               else None),
+            })
+        return rows
 
 
 __all__ = ["WorkerSupervisor"]

@@ -300,28 +300,48 @@ def send_payload(conn, payload: object, *, segment: Optional[str] = None,
         _COUNTS[count_prefix + "bytes_shipped"] += len(envelope)
 
 
-def wrap_job(job) -> tuple:
+def wrap_job(job, ctx=None) -> tuple:
     """Envelope one job for the submission lane.
 
     Large source text is wrapped in a :class:`_Blob` so it rides the
     zero-copy buffer lanes instead of the pickle body; small jobs pass
-    through untouched.  The wrapped form is opaque -- feed it to
-    :func:`unwrap_job` (or embed it in a larger payload shipped with
-    :func:`send_payload`, as the serve supervisor does).
+    through untouched.  ``ctx`` (a :class:`~repro.obs.trace.TraceContext`
+    or ``None``) rides as a trailing envelope element so the serve
+    supervisor's trace identity crosses the pipe with the job it
+    belongs to.  The wrapped form is opaque -- feed it to
+    :func:`unwrap_job`/:func:`unwrap_job_ctx` (or embed it in a larger
+    payload shipped with :func:`send_payload`, as the serve supervisor
+    does).
     """
     source = getattr(job, "source", None)
     if isinstance(source, str) and len(source) >= JOB_BLOB_THRESHOLD:
         stripped = dataclasses.replace(job, source="")
-        return ("src-blob", stripped, _Blob(source.encode("utf-8")))
-    return ("plain", job)
+        envelope = ("src-blob", stripped, _Blob(source.encode("utf-8")))
+    else:
+        envelope = ("plain", job)
+    if ctx is not None:
+        envelope = envelope + (ctx,)
+    return envelope
 
 
 def unwrap_job(payload: tuple):
     """Reconstitute a job from its :func:`wrap_job` envelope."""
+    return unwrap_job_ctx(payload)[0]
+
+
+def unwrap_job_ctx(payload: tuple):
+    """Reconstitute ``(job, trace context)`` from a job envelope.
+
+    The context element is optional on the wire (ctx-free senders emit
+    the bare two/three-element envelope), so both forms decode here.
+    """
     if payload[0] == "src-blob":
-        _, job, blob = payload
-        return dataclasses.replace(job, source=blob.bytes().decode("utf-8"))
-    return payload[1]
+        job, blob = payload[1], payload[2]
+        ctx = payload[3] if len(payload) > 3 else None
+        return (dataclasses.replace(job,
+                                    source=blob.bytes().decode("utf-8")),
+                ctx)
+    return payload[1], (payload[2] if len(payload) > 2 else None)
 
 
 def send_job(conn, job, *, worker_pid: int,

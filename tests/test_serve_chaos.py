@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+from repro.obs import events
 from repro.serve import AnalysisServer, ServeClient, ServeError, wait_ready
 from repro.serve.supervisor import WorkerSupervisor
 from repro.service.job import AnalysisJob, execute_job
@@ -147,6 +148,60 @@ class TestSupervisor:
         finally:
             sup.shutdown()
         assert _shm_entries() == []
+
+    def test_lifecycle_events_carry_worker_identity(self):
+        """Respawn/kill/retry diagnostics name the worker they concern:
+        an operator reading the event log can follow one slot's story."""
+        sup = self._sup(pool=1)
+        try:
+            with events.capture() as captured:
+                faults.inject("serve_worker_kill")
+                result, external = sup.execute(
+                    AnalysisJob(source=TWO_PROCS, label="traced-kill"))
+                assert external
+                deadline = time.monotonic() + 10
+                while (sup.counter_summary()["worker_restarts"] < 1
+                       and time.monotonic() < deadline):
+                    time.sleep(0.05)
+            by_name = {}
+            for event in captured:
+                by_name.setdefault(event.name, []).append(event.fields)
+            died = by_name["serve_worker_died"][0]
+            assert died["slot"] == 0 and isinstance(died["pid"], int)
+            assert died["label"] == "traced-kill"
+            retry = by_name["serve_job_retry"][0]
+            assert retry["cause"] == "worker-died"
+            assert retry["label"] == "traced-kill"
+            assert retry["worker_pid"] == died["pid"]
+            respawned = by_name["serve_worker_respawned"][0]
+            assert respawned["slot"] == 0
+            assert respawned["pid"] != died["pid"]
+        finally:
+            sup.shutdown()
+
+    def test_breaker_emits_open_and_close_events(self):
+        sup = self._sup(pool=1, retries=0, breaker_threshold=1,
+                        breaker_cooldown=0.2)
+        try:
+            with events.capture() as captured:
+                faults.inject("serve_worker_kill")
+                # The crash trips the threshold-1 breaker mid-job; the
+                # submitter falls back inline and still answers.
+                result, external = sup.execute(
+                    AnalysisJob(source=TWO_PROCS))
+                assert not external
+                assert result.outcome == "ok"
+                assert sup.breaker_open()
+                time.sleep(0.3)
+                # The first read after cooldown expiry logs the close.
+                assert not sup.breaker_open()
+            names = [event.name for event in captured]
+            assert "serve_breaker_open" in names
+            assert "serve_breaker_closed" in names
+            assert names.index("serve_breaker_open") < names.index(
+                "serve_breaker_closed")
+        finally:
+            sup.shutdown()
 
     def test_breaker_opens_and_falls_back_inline(self):
         sup = self._sup(pool=1, retries=0, breaker_threshold=2,
